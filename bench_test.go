@@ -1,0 +1,416 @@
+package cdi
+
+// Benchmarks regenerating every table and figure in the paper's evaluation
+// section (quick parameters preserving all reported shapes), plus ablation
+// benchmarks for the design choices DESIGN.md calls out and microbenchmarks
+// of the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+
+	"repro/internal/cosmoflow"
+	"repro/internal/experiments"
+	"repro/internal/gpu"
+	"repro/internal/lammps"
+	"repro/internal/mpi"
+	"repro/internal/proxy"
+	"repro/internal/sim"
+)
+
+// --- One benchmark per paper table/figure ---
+
+func BenchmarkTable1LAMMPSBaselines(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure2LAMMPSStrongScaling(b *testing.B) {
+	opts := experiments.Quick()
+	opts.LAMMPSSteps = 20
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure2(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 5 {
+			b.Fatalf("series = %d", len(series))
+		}
+	}
+}
+
+func BenchmarkLAMMPSThreadScaling(b *testing.B) {
+	opts := experiments.Quick()
+	opts.LAMMPSSteps = 20
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ThreadScaling(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCosmoFlowCPUScaling(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CosmoFlowCPU(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ProxyBaselines(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure3SlackSweep(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure3(opts, []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no sweep points")
+		}
+	}
+}
+
+// traceOnce caches the profiling traces: Figures 4-5 and Tables III-IV
+// analyze the same recordings, as the paper does.
+var cachedTraces *experiments.Traces
+
+func getTraces(b *testing.B) experiments.Traces {
+	b.Helper()
+	if cachedTraces == nil {
+		tr, err := experiments.CollectTraces(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cachedTraces = &tr
+	}
+	return *cachedTraces
+}
+
+func BenchmarkFigure4KernelDurations(b *testing.B) {
+	tr := getTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.RenderFigure4(tr) == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure5MemcpySizes(b *testing.B) {
+	tr := getTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.RenderFigure5(tr) == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkTable3TransferBinning(b *testing.B) {
+	tr := getTraces(b)
+	blocks, surface, err := experiments.Table4(experiments.Quick(), tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = blocks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(tr, surface)
+		if len(rows) != 2 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable4SlackPenalty(b *testing.B) {
+	tr := getTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blocks, _, err := experiments.Table4(experiments.Quick(), tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(blocks) != 2 {
+			b.Fatalf("blocks = %d", len(blocks))
+		}
+	}
+}
+
+func BenchmarkModelSelfValidation(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		v, err := experiments.Validate(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Upper < v.Lower {
+			b.Fatal("bounds inverted")
+		}
+	}
+}
+
+func BenchmarkComposeScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Compose()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.CDI) != 2 {
+			b.Fatal("scenario incomplete")
+		}
+	}
+}
+
+// --- Ablations: the design choices behind the reproduction ---
+
+// BenchmarkAblationWarmupModel isolates the GPU starvation model: with
+// WarmupRate zeroed, slack produces no residual penalty after Equation 1 —
+// demonstrating that the warm-up mechanism is what carries the paper's
+// Figure 3 effect.
+func BenchmarkAblationWarmupModel(b *testing.B) {
+	run := func(b *testing.B, spec gpu.Spec) float64 {
+		base, err := proxy.Run(proxy.Config{MatrixSize: 1 << 11, Iters: 20, Spec: spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := proxy.Run(proxy.Config{MatrixSize: 1 << 11, Iters: 20, Spec: spec, Slack: 10 * sim.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return proxy.Penalty(base, r)
+	}
+	b.Run("warmup=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if p := run(b, gpu.A100()); p <= 0.01 {
+				b.Fatalf("no penalty with warm-up on: %v", p)
+			}
+		}
+	})
+	b.Run("warmup=off", func(b *testing.B) {
+		spec := gpu.A100()
+		spec.WarmupRate = 0
+		for i := 0; i < b.N; i++ {
+			if p := run(b, spec); p > 0.01 {
+				b.Fatalf("penalty without warm-up: %v", p)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationContextSwitch isolates the multi-process context-switch
+// cost: without it, small-box LAMMPS stops degrading under many ranks.
+func BenchmarkAblationContextSwitch(b *testing.B) {
+	run := func(b *testing.B, ctxSwitch sim.Duration) float64 {
+		spec := gpu.A100()
+		spec.ContextSwitch = ctxSwitch
+		base, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: 20, Procs: 1, Steps: 20, Spec: spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: 20, Procs: 24, Steps: 20, Spec: spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(r.StepTime) / float64(base.StepTime)
+	}
+	b.Run("ctxswitch=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if norm := run(b, lammps.CtxSwitch); norm < 5 {
+				b.Fatalf("box 20 did not degrade with switching on: %v", norm)
+			}
+		}
+	})
+	b.Run("ctxswitch=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if norm := run(b, 0); norm > 5 {
+				b.Fatalf("box 20 degraded %vx without switch cost", norm)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationThreads shows the latency-hiding effect directly: the
+// same slack, radically different penalty depending on submitter count.
+func BenchmarkAblationThreads(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(benchName("threads", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base, err := proxy.Run(proxy.Config{MatrixSize: 1 << 9, Threads: threads, Iters: 30})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := proxy.Run(proxy.Config{MatrixSize: 1 << 9, Threads: threads, Iters: 30, Slack: 200 * sim.Microsecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = proxy.Penalty(base, r)
+			}
+		})
+	}
+}
+
+// --- Substrate microbenchmarks ---
+
+func BenchmarkSimEngineEvents(b *testing.B) {
+	env := sim.NewEnv()
+	defer env.Close()
+	env.Spawn("ticker", func(p *sim.Proc) {
+		for {
+			p.Sleep(1 * sim.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Step()
+	}
+}
+
+func BenchmarkProxyIteration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.Run(proxy.Config{MatrixSize: 1 << 9, Iters: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLAMMPSNumericStep(b *testing.B) {
+	s := lammps.NewSystem(5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkLAMMPSPerfStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: 60, Procs: 8, Steps: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPIAllreduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		w := mpi.NewWorld(env, 8, mpi.IntraNode())
+		w.SpawnAll(func(r *mpi.Rank) {
+			v := make([]float64, 1024)
+			r.Allreduce(v, mpi.OpSum)
+		})
+		env.Run()
+		env.Close()
+	}
+}
+
+func benchName(prefix string, n int) string {
+	const digits = "0123456789"
+	if n < 10 {
+		return prefix + "=" + digits[n:n+1]
+	}
+	return prefix + "=" + digits[n/10:n/10+1] + digits[n%10:n%10+1]
+}
+
+// --- Extension benchmarks ---
+
+func BenchmarkExtensionAppValidation(b *testing.B) {
+	opts := experiments.Quick()
+	opts.LAMMPSSteps = 15
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AppSlackValidation(opts, []sim.Duration{100 * sim.Microsecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkExtensionCongestion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Congestion()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 6 {
+			b.Fatal("incomplete sweep")
+		}
+	}
+}
+
+func BenchmarkExtensionRemoting(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RemotingComparison(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Throughput(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionCoupling(b *testing.B) {
+	opts := experiments.Quick()
+	opts.CosmoSamples = 16
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ChassisCoupling(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionPreload(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PreloadComparison(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLAMMPSHybridStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lammps.RunHybrid(lammps.HybridConfig{BoxSize: 4, Steps: 5, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCosmoFlowPerfStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := cosmoflow.RunPerf(cosmoflow.PerfConfig{
+			Epochs: 1, TrainSamples: 16, ValSamples: 8, InputSide: 32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

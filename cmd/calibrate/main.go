@@ -1,0 +1,64 @@
+// Command calibrate prints the LAMMPS cost-model calibration against the
+// paper's Table I and Figure 2 anchors. It exists to re-derive the
+// constants in internal/lammps/perf.go whenever the device model changes:
+// run it, compare the right-hand columns, and adjust CPUPerAtom /
+// SerialPerAtom / CtxSwitch until the anchors line up.
+//
+//	calibrate [-steps 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	cdi "repro"
+)
+
+func main() {
+	steps := flag.Int("steps", 60, "MD steps per measurement")
+	flag.Parse()
+
+	paper := map[int]float64{20: 5.473, 60: 66.523, 80: 160.703, 100: 312.185, 120: 541.452}
+	fmt.Println("Table I anchors (1 proc × 1 thread, extrapolated to 5000 steps):")
+	for _, box := range []int{20, 60, 80, 100, 120} {
+		r, err := cdi.RunLAMMPS(cdi.LAMMPSConfig{BoxSize: box, Steps: *steps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  box %3d: measured %7.2fs  paper %7.2fs  ratio %.3f\n",
+			box, r.FullRuntime.Seconds(), paper[box], r.FullRuntime.Seconds()/paper[box])
+	}
+
+	fmt.Println("\nFigure 2 anchors (normalized to 1 process):")
+	anchors := []struct {
+		box, procs int
+		paper      float64
+	}{
+		{60, 8, 0.828},   // −17.2%
+		{120, 24, 0.444}, // −55.6%
+	}
+	for _, a := range anchors {
+		base, err := cdi.RunLAMMPS(cdi.LAMMPSConfig{BoxSize: a.box, Steps: *steps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := cdi.RunLAMMPS(cdi.LAMMPSConfig{BoxSize: a.box, Procs: a.procs, Steps: *steps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm := float64(r.StepTime) / float64(base.StepTime)
+		fmt.Printf("  box %3d @ %2d procs: measured %.3f  paper %.3f\n", a.box, a.procs, norm, a.paper)
+	}
+
+	fmt.Println("\nThread anchor (box 120, 8 procs, 6 threads vs 1; paper −52.3%):")
+	b1, err := cdi.RunLAMMPS(cdi.LAMMPSConfig{BoxSize: 120, Procs: 8, Threads: 1, Steps: *steps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b6, err := cdi.RunLAMMPS(cdi.LAMMPSConfig{BoxSize: 120, Procs: 8, Threads: 6, Steps: *steps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  measured %.3f  paper 0.477\n", float64(b6.StepTime)/float64(b1.StepTime))
+}

@@ -1,0 +1,116 @@
+// Command proxysweep runs the slack proxy grid and emits CSV — the raw
+// data behind Figure 3 and the response surfaces, ready for plotting.
+//
+//	proxysweep -iters 20 > sweep.csv
+//	proxysweep -sizes 512,2048 -threads 1,8 -slacks 1us,100us,10ms
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	cdi "repro"
+)
+
+func main() {
+	sizesFlag := flag.String("sizes", "512,2048,8192", "matrix sizes")
+	threadsFlag := flag.String("threads", "1,2,4,8", "thread counts")
+	slacksFlag := flag.String("slacks", "1us,10us,100us,1ms,10ms", "slack values (us/ms/s suffixes)")
+	iters := flag.Int("iters", 20, "loop iterations (0 = paper-faithful 30s sizing)")
+	jsonOut := flag.String("json", "", "also save the sweep as JSON (reloadable by slackprof -sweep)")
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesFlag)
+	if err != nil {
+		log.Fatalf("sizes: %v", err)
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		log.Fatalf("threads: %v", err)
+	}
+	slacks, err := parseDurations(*slacksFlag)
+	if err != nil {
+		log.Fatalf("slacks: %v", err)
+	}
+
+	pts, err := cdi.ProxySweep(sizes, threads, slacks, *iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cdi.WriteSweep(f, pts); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep saved to %s\n", *jsonOut)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	w.Write([]string{
+		"matrix_size", "threads", "slack_us", "penalty",
+		"kernel_time_s", "iters", "loop_time_s", "corrected_time_s", "delayed_calls",
+	})
+	for _, pt := range pts {
+		w.Write([]string{
+			strconv.Itoa(pt.MatrixSize),
+			strconv.Itoa(pt.Threads),
+			fmt.Sprintf("%g", pt.Slack.Micros()),
+			fmt.Sprintf("%g", pt.Penalty),
+			fmt.Sprintf("%g", pt.Result.KernelTime.Seconds()),
+			strconv.Itoa(pt.Result.Iters),
+			fmt.Sprintf("%g", pt.Result.LoopTime.Seconds()),
+			fmt.Sprintf("%g", pt.Result.CorrectedTime.Seconds()),
+			strconv.FormatInt(pt.Result.DelayedCalls, 10),
+		})
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseDurations(s string) ([]cdi.Duration, error) {
+	var out []cdi.Duration
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		var unit cdi.Duration
+		var trim string
+		switch {
+		case strings.HasSuffix(f, "us"):
+			unit, trim = cdi.Microsecond, strings.TrimSuffix(f, "us")
+		case strings.HasSuffix(f, "ms"):
+			unit, trim = cdi.Millisecond, strings.TrimSuffix(f, "ms")
+		case strings.HasSuffix(f, "s"):
+			unit, trim = cdi.Second, strings.TrimSuffix(f, "s")
+		default:
+			return nil, fmt.Errorf("duration %q needs a us/ms/s suffix", f)
+		}
+		v, err := strconv.ParseFloat(trim, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cdi.Duration(v)*unit)
+	}
+	return out, nil
+}

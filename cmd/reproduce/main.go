@@ -1,0 +1,170 @@
+// Command reproduce regenerates the paper's tables and figures from the
+// simulated stack and prints them with the paper's reference values.
+//
+//	reproduce -exp all            # everything, quick parameters
+//	reproduce -exp table4         # one experiment
+//	reproduce -exp figure2 -paper # paper-faithful parameters (slow)
+//
+// Paper experiments: table1 figure2 threads cfcpu table2 figure3 figure4
+// figure5 table3 table4 validate compose.
+// Extensions: appvalidate congestion remoting weak reach throughput coupling preload scales.
+// "all" runs everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (or comma list)")
+	paper := flag.Bool("paper", false, "paper-faithful parameters (slow: full 5000-step runs, 30s proxy loops)")
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *paper {
+		opts = experiments.Paper()
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	section := func(id string) bool {
+		if all || want[id] {
+			fmt.Printf("\n======== %s ========\n", id)
+			ran++
+			return true
+		}
+		return false
+	}
+
+	if section("table1") {
+		rows, err := experiments.Table1(opts)
+		check(err)
+		fmt.Print(experiments.RenderTable1(rows))
+	}
+	if section("figure2") {
+		series, err := experiments.Figure2(opts)
+		check(err)
+		fmt.Print(experiments.RenderFigure2(series))
+	}
+	if section("threads") {
+		rows, err := experiments.ThreadScaling(opts)
+		check(err)
+		fmt.Print(experiments.RenderThreadScaling(rows))
+	}
+	if section("cfcpu") {
+		rows, err := experiments.CosmoFlowCPU(opts)
+		check(err)
+		fmt.Print(experiments.RenderCosmoFlowCPU(rows))
+	}
+	if section("table2") {
+		rows, err := experiments.Table2(opts)
+		check(err)
+		fmt.Print(experiments.RenderTable2(rows))
+	}
+	if section("figure3") {
+		pts, err := experiments.Figure3(opts, nil)
+		check(err)
+		fmt.Print(experiments.RenderFigure3(pts))
+	}
+	if all || want["figure4"] || want["figure5"] || want["table3"] || want["table4"] {
+		traces, err := experiments.CollectTraces(opts)
+		check(err)
+		if section("figure4") {
+			fmt.Print(experiments.RenderFigure4(traces))
+		}
+		if section("figure5") {
+			fmt.Print(experiments.RenderFigure5(traces))
+		}
+		if all || want["table3"] || want["table4"] {
+			blocks, surface, err := experiments.Table4(opts, traces)
+			check(err)
+			if section("table3") {
+				rows := experiments.Table3(traces, surface)
+				fmt.Print(experiments.RenderTable3(rows, surface))
+			}
+			if section("table4") {
+				fmt.Print(experiments.RenderTable4(blocks))
+			}
+		}
+	}
+	if section("validate") {
+		v, err := experiments.Validate(opts)
+		check(err)
+		fmt.Print(experiments.RenderValidation(v))
+	}
+	if section("compose") {
+		c, err := experiments.Compose()
+		check(err)
+		fmt.Print(experiments.RenderCompose(c))
+	}
+	if section("appvalidate") {
+		rows, err := experiments.AppSlackValidation(opts, nil)
+		check(err)
+		fmt.Print(experiments.RenderAppValidation(rows))
+	}
+	if section("scales") {
+		rows, err := experiments.DeploymentScales(opts)
+		check(err)
+		fmt.Print(experiments.RenderDeploymentScales(rows))
+	}
+	if section("preload") {
+		rows, err := experiments.PreloadComparison(opts)
+		check(err)
+		fmt.Print(experiments.RenderPreload(rows))
+	}
+	if section("congestion") {
+		pts, err := experiments.Congestion()
+		check(err)
+		fmt.Print(experiments.RenderCongestion(pts))
+	}
+	if section("remoting") {
+		results, err := experiments.RemotingComparison(opts)
+		check(err)
+		fmt.Print(experiments.RenderRemoting(results))
+	}
+	if section("weak") {
+		rows, err := experiments.WeakScaling(opts)
+		check(err)
+		fmt.Print(experiments.RenderWeakScaling(rows))
+	}
+	if section("coupling") {
+		rows, err := experiments.ChassisCoupling(opts)
+		check(err)
+		fmt.Print(experiments.RenderChassisCoupling(rows))
+	}
+	if section("throughput") {
+		rows, err := experiments.Throughput()
+		check(err)
+		fmt.Print(experiments.RenderThroughput(rows))
+	}
+	if section("reach") {
+		traces, err := experiments.CollectTraces(opts)
+		check(err)
+		rows, err := experiments.Reach(opts, traces)
+		check(err)
+		fmt.Print(experiments.RenderReach(rows))
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Command slackprof applies the paper's methodology to one workload: it
+// calibrates a proxy response surface, traces the workload, prints its CDI
+// profile (kernel/memcpy characteristics), and predicts its slack penalty
+// across the Table IV slack values.
+//
+//	slackprof -workload lammps -box 120 -procs 8
+//	slackprof -workload cosmoflow -epochs 1 -samples 32
+//	slackprof -workload proxy -size 2048 -threads 4
+//	slackprof -workload lammps -trace /tmp/lammps.json   # dump the trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	cdi "repro"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	workload := flag.String("workload", "lammps", "lammps | cosmoflow | proxy")
+	box := flag.Int("box", 120, "lammps box size")
+	procs := flag.Int("procs", 8, "lammps MPI ranks")
+	steps := flag.Int("steps", 40, "lammps MD steps")
+	epochs := flag.Int("epochs", 1, "cosmoflow epochs")
+	samples := flag.Int("samples", 32, "cosmoflow training samples")
+	size := flag.Int("size", 2048, "proxy matrix size")
+	threads := flag.Int("threads", 1, "proxy threads")
+	iters := flag.Int("iters", 20, "proxy iterations (calibration and proxy workload)")
+	traceOut := flag.String("trace", "", "write the trace as JSON to this path")
+	chromeOut := flag.String("chrome", "", "write the trace in Chrome Trace Event Format (chrome://tracing, Perfetto)")
+	budget := flag.Float64("budget", 0.01, "penalty budget for the reach estimate")
+	sweepIn := flag.String("sweep", "", "load a saved calibration sweep (proxysweep -json) instead of re-running it")
+	flag.Parse()
+
+	var w cdi.Workload
+	switch *workload {
+	case "lammps":
+		w = cdi.LAMMPSWorkload{Config: cdi.LAMMPSConfig{BoxSize: *box, Procs: *procs, Steps: *steps}}
+	case "cosmoflow":
+		w = cdi.CosmoFlowWorkload{Config: cdi.CosmoFlowConfig{
+			Epochs: *epochs, TrainSamples: *samples, ValSamples: *samples / 2,
+		}}
+	case "proxy":
+		w = core.ProxyWorkload{Config: cdi.ProxyConfig{
+			MatrixSize: *size, Threads: *threads, Iters: *iters,
+		}}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	var study *cdi.Study
+	var err error
+	if *sweepIn != "" {
+		fmt.Printf("loading calibration sweep from %s...\n", *sweepIn)
+		f, err := os.Open(*sweepIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts, err := cdi.ReadSweep(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		study, err = cdi.NewStudyFromSweep(pts, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println("calibrating proxy response surface...")
+		study, err = cdi.NewStudy(cdi.StudyConfig{
+			Sizes:   []int{1 << 9, 1 << 11, 1 << 13},
+			Threads: []int{1, 4, 8},
+			Iters:   *iters,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("tracing %s...\n\n", w.Name())
+	app, tr, err := study.Profile(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("==== CDI profile: %s ====\n", app.Label)
+	fmt.Printf("runtime:           %v\n", tr.Runtime())
+	fmt.Printf("kernel fraction:   %.2f%% (%d launches)\n", app.KernelFraction*100, len(app.KernelDurations))
+	fmt.Printf("memcpy fraction:   %.2f%% (%d transfers)\n", app.MemcpyFraction*100, len(app.TransferBytes))
+	fmt.Printf("parallel streams:  %d (effective parallelism %d)\n", tr.Streams(), app.Parallelism)
+	ks := stats.Summarize(app.KernelDurations)
+	fmt.Printf("kernel durations:  med %v, max %v\n", cdi.Duration(ks.Median), cdi.Duration(ks.Max))
+	ms := stats.Summarize(app.TransferBytes)
+	fmt.Printf("transfer sizes:    med %.2f MiB, mean %.2f MiB\n\n", ms.Median/(1<<20), ms.Mean/(1<<20))
+
+	fmt.Println("==== predicted slack penalty (Table IV) ====")
+	preds, err := study.Predict(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %-12s %-12s\n", "slack", "lower", "upper")
+	for _, p := range preds {
+		fmt.Printf("%-10v %-12.5f %-12.5f\n", p.Slack, p.Lower, p.Upper)
+	}
+
+	slack, km, err := study.MaxTolerableSlack(app, *budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmax slack within %.1f%% budget: %v  →  %.1f km of fibre\n",
+		*budget*100, slack, km)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := tr.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or Perfetto)\n", *chromeOut)
+	}
+}

@@ -1,0 +1,67 @@
+package cdi_test
+
+import (
+	"fmt"
+
+	cdi "repro"
+)
+
+// The full methodology in four lines: calibrate, profile, assess.
+func Example() {
+	study, err := cdi.NewStudy(cdi.StudyConfig{
+		Sizes:   []int{1 << 9, 1 << 11},
+		Threads: []int{1, 8},
+		Iters:   10, // tiny calibration for the example; omit for full runs
+	})
+	if err != nil {
+		panic(err)
+	}
+	app, _, err := study.Profile(cdi.LAMMPSWorkload{
+		Config: cdi.LAMMPSConfig{BoxSize: 60, Procs: 8, Steps: 10},
+	})
+	if err != nil {
+		panic(err)
+	}
+	verdict, err := study.Assess(app)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("viable at %v (%.0f km): %v\n", verdict.Slack, verdict.ReachKm, verdict.Viable)
+	// Output: viable at 100µs (20 km): true
+}
+
+// Slack corresponds to physical distance: the paper's headline conversion.
+func ExampleDistanceForSlack() {
+	km := cdi.DistanceForSlack(100 * cdi.Microsecond)
+	fmt.Printf("100µs of slack ≈ %.0f km of fibre\n", km)
+	// Output: 100µs of slack ≈ 20 km of fibre
+}
+
+// The slack proxy measures how much a workload shape suffers under
+// injected delay (Equation 1 removes the direct delay first).
+func ExampleRunProxy() {
+	base, err := cdi.RunProxy(cdi.ProxyConfig{MatrixSize: 1 << 11, Iters: 10})
+	if err != nil {
+		panic(err)
+	}
+	run, err := cdi.RunProxy(cdi.ProxyConfig{MatrixSize: 1 << 11, Iters: 10, Slack: 10 * cdi.Millisecond})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("starved: %v\n", cdi.ProxyPenalty(base, run) > 0.5)
+	// Output: starved: true
+}
+
+// Composing resources to a job's exact ratio leaves no trapped GPUs.
+func ExampleNewCDISystem() {
+	sys, err := cdi.NewCDISystem(4, 12, 1, 4, cdi.FabricPreset(cdi.RowScale, 0))
+	if err != nil {
+		panic(err)
+	}
+	alloc, err := sys.Alloc(cdi.ComposeRequest{Name: "lammps", Cores: 48, GPUs: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trapped GPUs: %d, free for others: %d\n", alloc.TrappedGPUs, sys.FreeGPUs())
+	// Output: trapped GPUs: 0, free for others: 3
+}

@@ -1,0 +1,55 @@
+// Composer: the Discussion (§V) scheduling example — 20 CPU nodes and 40
+// GPUs, with LAMMPS and CosmoFlow each wanting 20 GPUs — scheduled on a
+// traditional node architecture versus a row-scale CDI machine.
+//
+//	go run ./examples/composer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cdi "repro"
+)
+
+func main() {
+	cmp, err := cdi.PaperScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Discussion §V: 20 nodes × 24 cores, 40 GPUs, two jobs wanting 20 GPUs each ==")
+	fmt.Print(cmp.Render())
+
+	fmt.Println("\n== trapped-resource accounting on a half-loaded machine ==")
+	trad, err := cdi.NewTraditionalSystem(8, 12, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row, err := cdi.NewCDISystem(8, 12, 1, 8, cdi.FabricPreset(cdi.RowScale, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := cdi.ComposeRequest{Name: "cpu-heavy", Cores: 96, GPUs: 1}
+	at, err := trad.Alloc(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ar, err := row.Alloc(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traditional: %d nodes, %d GPUs granted, %d trapped\n",
+		at.NodesUsed, at.GPUsGranted, at.TrappedGPUs)
+	fmt.Printf("cdi:         %d nodes, %d GPUs granted, %d trapped, slack %v\n",
+		ar.NodesUsed, ar.GPUsGranted, ar.TrappedGPUs, ar.Slack)
+	fmt.Printf("free GPUs for other jobs: traditional %d vs cdi %d\n",
+		trad.FreeGPUs(), row.FreeGPUs())
+
+	fmt.Println("\n== slack by deployment scale ==")
+	for _, s := range []cdi.Scale{cdi.NodeLocal, cdi.RackScale, cdi.RowScale, cdi.ClusterScale} {
+		p := cdi.FabricPreset(s, 0)
+		fmt.Printf("%-14s slack %v\n", s, p.Latency())
+	}
+	fmt.Printf("\n100µs of slack reaches %.0f km of fibre — the paper's headline.\n",
+		cdi.DistanceForSlack(100*cdi.Microsecond))
+}

@@ -1,0 +1,73 @@
+// LAMMPS strong scaling: reproduce the shape of the paper's Figure 2 —
+// normalized runtime of the Lennard-Jones benchmark at fixed problem size
+// as MPI ranks scale from 1 to 24 on one (simulated) GPU node.
+//
+//	go run ./examples/lammps-scaling [-steps 40] [-boxes 20,60,120]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	cdi "repro"
+)
+
+func main() {
+	steps := flag.Int("steps", 40, "MD steps per measurement (paper uses 5000)")
+	boxes := flag.String("boxes", "20,60,120", "comma-separated box sizes")
+	threads := flag.Bool("threads", false, "also run the OpenMP thread sweep at 8 ranks")
+	flag.Parse()
+
+	var boxSizes []int
+	for _, f := range strings.Split(*boxes, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad box size %q: %v", f, err)
+		}
+		boxSizes = append(boxSizes, b)
+	}
+
+	procs := []int{1, 2, 4, 8, 12, 16, 20, 24}
+	fmt.Println("== Figure 2: strong scaling, normalized to 1 process ==")
+	fmt.Printf("%-8s", "box")
+	for _, p := range procs {
+		fmt.Printf("%8s", fmt.Sprintf("p=%d", p))
+	}
+	fmt.Println()
+	for _, box := range boxSizes {
+		fmt.Printf("%-8d", box)
+		var base cdi.Duration
+		for _, p := range procs {
+			r, err := cdi.RunLAMMPS(cdi.LAMMPSConfig{BoxSize: box, Procs: p, Steps: *steps})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if p == 1 {
+				base = r.StepTime
+				fmt.Printf("%8.3f", 1.0)
+				continue
+			}
+			fmt.Printf("%8.3f", float64(r.StepTime)/float64(base))
+		}
+		fmt.Printf("   (atoms: %d)\n", cdi.LAMMPSAtoms(box))
+	}
+
+	if *threads {
+		fmt.Println("\n== OpenMP thread scaling at 8 ranks (box 120) ==")
+		var base cdi.Duration
+		for _, t := range []int{1, 2, 4, 6} {
+			r, err := cdi.RunLAMMPS(cdi.LAMMPSConfig{BoxSize: 120, Procs: 8, Threads: t, Steps: *steps})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if t == 1 {
+				base = r.StepTime
+			}
+			fmt.Printf("threads=%d: step %v  (%.3f× the 1-thread case)\n",
+				t, r.StepTime, float64(r.StepTime)/float64(base))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Profile: the full methodology end-to-end for both production workloads —
+// proxy sweep, NSys-style traces, kernel/memcpy distributions (Figures
+// 4-5), Table III binning, and the Table IV penalty predictions.
+//
+//	go run ./examples/profile [-iters 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	cdi "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	iters := flag.Int("iters", 20, "proxy loop iterations for the calibration sweep")
+	flag.Parse()
+
+	study, err := cdi.NewStudy(cdi.StudyConfig{
+		Sizes:   []int{1 << 9, 1 << 11, 1 << 13},
+		Threads: []int{1, 4, 8},
+		Iters:   *iters,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	workloads := []cdi.Workload{
+		cdi.LAMMPSWorkload{Config: cdi.LAMMPSConfig{BoxSize: 120, Procs: 8, Steps: 40}},
+		cdi.CosmoFlowWorkload{Config: cdi.CosmoFlowConfig{
+			Epochs: 1, TrainSamples: 32, ValSamples: 16, InputSide: 128,
+		}},
+	}
+
+	for _, w := range workloads {
+		app, tr, err := study.Profile(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==== %s ====\n", w.Name())
+		fmt.Printf("runtime %v: kernel %.1f%%, memcpy %.1f%%, %d streams\n",
+			tr.Runtime(), app.KernelFraction*100, app.MemcpyFraction*100, tr.Streams())
+
+		fmt.Println("\n-- Figure 4: kernel durations (top 5 by total time) --")
+		for _, g := range tr.TopKernels(5) {
+			s := stats.Summarize(g.Durations)
+			fmt.Printf("%-22s n=%-6d med=%-10s total=%v\n",
+				g.Name, g.Count, cdi.Duration(s.Median).String(), g.Total)
+		}
+		all := stats.NewViolin(tr.KernelDurations(), 16, true)
+		fmt.Println("all kernels (log-scale density, seconds):")
+		fmt.Print(all.Render(40))
+
+		fmt.Println("-- Figure 5: memcpy sizes --")
+		v := stats.NewViolin(tr.MemcpySizes(), 12, true)
+		fmt.Printf("n=%d mean=%.2f MiB\n", v.Summary.N, v.Summary.Mean/(1<<20))
+		fmt.Print(v.Render(40))
+
+		fmt.Println("-- Table III: transfer-size binning (matrix-size equivalents) --")
+		b := study.Surface.BinTransferSizes(app.TransferBytes)
+		for _, size := range study.Surface.Sizes() {
+			fmt.Printf("  ≤ %5d MiB: %6d (rounded down) / %6d (rounded up)\n",
+				int(float64(size)*float64(size)*4/(1<<20)), b.RoundedDown[size], b.RoundedUp[size])
+		}
+
+		fmt.Println("\n-- Table IV: predicted slack penalty --")
+		preds, err := study.Predict(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-12s %-12s\n", "slack", "lower", "upper")
+		for _, p := range preds {
+			fmt.Printf("%-10v %-12.5f %-12.5f\n", p.Slack, p.Lower, p.Upper)
+		}
+
+		verdict, err := study.Assess(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nheadline: %.3f%% pessimistic penalty at %v (%.0f km) → viable=%v\n\n",
+			verdict.Prediction.Upper*100, verdict.Slack, verdict.ReachKm, verdict.Viable)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: calibrate the methodology with a proxy sweep, profile a
+// workload, and ask the headline question — can this application live
+// 20 km away from its GPUs?
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	cdi "repro"
+)
+
+func main() {
+	iters := flag.Int("iters", 20, "proxy loop iterations (0 = paper-faithful 30s sizing; slow)")
+	flag.Parse()
+
+	fmt.Println("== calibrating: sweeping the slack proxy ==")
+	study, err := cdi.NewStudy(cdi.StudyConfig{
+		Sizes:   []int{1 << 9, 1 << 11, 1 << 13},
+		Threads: []int{1, 4, 8},
+		Iters:   *iters,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("surface built from %d sweep points over sizes %v\n\n",
+		len(study.Points), study.Surface.Sizes())
+
+	fmt.Println("== profiling: mini-LAMMPS, 8 ranks, box 60 ==")
+	app, tr, err := study.Profile(cdi.LAMMPSWorkload{
+		Config: cdi.LAMMPSConfig{BoxSize: 60, Procs: 8, Steps: 50},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d kernels, %d transfers over %v\n",
+		len(tr.Kernels), len(tr.Copies), tr.Runtime())
+	fmt.Printf("kernel runtime fraction: %.1f%%   memcpy fraction: %.1f%%\n\n",
+		app.KernelFraction*100, app.MemcpyFraction*100)
+
+	fmt.Println("== predicting: slack penalty bounds (Table IV style) ==")
+	preds, err := study.Predict(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %-12s %-12s\n", "slack", "lower", "upper")
+	for _, p := range preds {
+		fmt.Printf("%-10v %-12.5f %-12.5f\n", p.Slack, p.Lower, p.Upper)
+	}
+	fmt.Println()
+
+	verdict, err := study.Assess(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== verdict at %v of slack (%.0f km of fibre) ==\n", verdict.Slack, verdict.ReachKm)
+	fmt.Printf("pessimistic penalty: %.3f%%  →  viable: %v\n",
+		verdict.Prediction.Upper*100, verdict.Viable)
+}

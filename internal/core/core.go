@@ -1,0 +1,259 @@
+// Package core orchestrates the paper's end-to-end methodology for
+// assessing row-scale CDI viability:
+//
+//  1. sweep the slack proxy across matrix sizes, thread counts and slack
+//     values to build a response Surface (§IV-B, Figure 3);
+//  2. profile a production application with the NSys-style tracer to
+//     extract its kernel and data-movement characteristics (§IV-C,
+//     Figures 4-5);
+//  3. cross-analyse the profile against the surface with Equations 2-3 to
+//     predict the application's slack penalty (§IV-D, Table IV);
+//  4. translate tolerable slack into physical reach (the 100 µs ≈ 20 km
+//     conclusion).
+//
+// The method runs entirely in software on the simulated node — exactly the
+// portability property the paper claims for prospective CDI adopters.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cosmoflow"
+	"repro/internal/fabric"
+	"repro/internal/lammps"
+	"repro/internal/model"
+	"repro/internal/proxy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// StudyConfig controls the proxy sweep that calibrates a Study.
+type StudyConfig struct {
+	// Sizes are the proxy matrix sizes (nil = the paper's 2^9..2^15).
+	Sizes []int
+	// Threads are the submitter counts to sweep (nil = 1,2,4,8).
+	Threads []int
+	// Slacks are the injected values (nil = 1µs..10ms decades).
+	Slacks []sim.Duration
+	// Iters overrides the proxy's 30-second loop sizing when positive;
+	// the paper-faithful zero value makes sweeps expensive, so tools and
+	// tests usually set a small count.
+	Iters int
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.Sizes == nil {
+		c.Sizes = proxy.PaperSizes()
+	}
+	if c.Threads == nil {
+		c.Threads = proxy.PaperThreads()
+	}
+	if c.Slacks == nil {
+		c.Slacks = model.PaperSlacks()
+	}
+	return c
+}
+
+// Study is a calibrated instance of the methodology.
+type Study struct {
+	cfg     StudyConfig
+	Surface *model.Surface
+	Points  []proxy.SweepPoint
+}
+
+// NewStudy runs the proxy sweep and builds the response surface.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	cfg = cfg.withDefaults()
+	pts, err := proxy.Sweep(cfg.Sizes, cfg.Threads, cfg.Slacks, cfg.Iters)
+	if err != nil {
+		return nil, fmt.Errorf("core: proxy sweep: %w", err)
+	}
+	return NewStudyFromSweep(pts, cfg.Slacks)
+}
+
+// NewStudyFromSweep builds a Study from previously collected (typically
+// saved and reloaded) sweep points — the adopter workflow of calibrating
+// once and profiling many workloads. slacks selects the prediction grid
+// (nil = the paper's Table IV values).
+func NewStudyFromSweep(pts []proxy.SweepPoint, slacks []sim.Duration) (*Study, error) {
+	surface, err := model.BuildSurface(pts)
+	if err != nil {
+		return nil, fmt.Errorf("core: building surface: %w", err)
+	}
+	cfg := StudyConfig{Slacks: slacks}.withDefaults()
+	return &Study{cfg: cfg, Surface: surface, Points: pts}, nil
+}
+
+// Workload is an application the methodology can profile: anything able
+// to produce a trace and state its effective kernel-submission
+// parallelism.
+type Workload interface {
+	// Name labels the workload in reports.
+	Name() string
+	// Trace runs the workload under the tracer and returns the recording.
+	Trace() (*trace.Trace, error)
+	// Parallelism is the effective number of parallel kernel submitters
+	// the paper's comparison uses (8 for LAMMPS's profiled config, 4 for
+	// CosmoFlow's launch-sequence equivalence).
+	Parallelism() int
+}
+
+// LAMMPSWorkload profiles the mini-LAMMPS at the paper's configuration
+// (8 processes × 1 thread, box 120) unless overridden.
+type LAMMPSWorkload struct {
+	Config lammps.PerfConfig
+}
+
+// Name implements Workload.
+func (w LAMMPSWorkload) Name() string { return "lammps" }
+
+// Parallelism implements Workload: the profiled run uses 8 ranks.
+func (w LAMMPSWorkload) Parallelism() int {
+	if w.Config.Procs > 0 {
+		return w.Config.Procs
+	}
+	return 8
+}
+
+// Trace implements Workload.
+func (w LAMMPSWorkload) Trace() (*trace.Trace, error) {
+	cfg := w.Config
+	if cfg.BoxSize == 0 {
+		cfg.BoxSize = 120
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 8
+	}
+	cfg.Record = true
+	res, err := lammps.RunPerf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+// CosmoFlowWorkload profiles the mini-CosmoFlow at batch size 4.
+type CosmoFlowWorkload struct {
+	Config cosmoflow.PerfConfig
+}
+
+// Name implements Workload.
+func (w CosmoFlowWorkload) Name() string { return "cosmoflow" }
+
+// Parallelism implements Workload: kernel launches take ~1/7 of each
+// sequence, which the paper treats as an effective parallelism of 4.
+func (w CosmoFlowWorkload) Parallelism() int { return 4 }
+
+// Trace implements Workload.
+func (w CosmoFlowWorkload) Trace() (*trace.Trace, error) {
+	cfg := w.Config
+	cfg.Record = true
+	res, err := cosmoflow.RunPerf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+// ProxyWorkload profiles the proxy itself — the §IV-D self-validation.
+type ProxyWorkload struct {
+	Config proxy.Config
+}
+
+// Name implements Workload.
+func (w ProxyWorkload) Name() string {
+	return fmt.Sprintf("proxy-n%d-t%d", w.Config.MatrixSize, w.Config.Threads)
+}
+
+// Parallelism implements Workload.
+func (w ProxyWorkload) Parallelism() int {
+	if w.Config.Threads > 0 {
+		return w.Config.Threads
+	}
+	return 1
+}
+
+// Trace implements Workload.
+func (w ProxyWorkload) Trace() (*trace.Trace, error) {
+	cfg := w.Config
+	cfg.Record = true
+	res, err := proxy.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+// Profile runs a workload under the tracer and extracts its AppProfile.
+func (s *Study) Profile(w Workload) (model.AppProfile, *trace.Trace, error) {
+	tr, err := w.Trace()
+	if err != nil {
+		return model.AppProfile{}, nil, fmt.Errorf("core: tracing %s: %w", w.Name(), err)
+	}
+	app := model.ProfileFromTrace(tr, w.Parallelism())
+	app.Label = w.Name()
+	return app, tr, nil
+}
+
+// Predict evaluates the application's slack penalty bounds across the
+// study's slack values — one Table IV block.
+func (s *Study) Predict(app model.AppProfile) ([]model.Prediction, error) {
+	return s.Surface.PredictSweep(app, s.cfg.Slacks)
+}
+
+// MaxTolerableSlack returns the largest slack (on a 1 µs .. 1 s log grid)
+// whose pessimistic (upper-bound) predicted penalty stays within budget
+// (e.g. 0.01 for the paper's 1 % bar), and the corresponding fibre reach.
+func (s *Study) MaxTolerableSlack(app model.AppProfile, budget float64) (sim.Duration, float64, error) {
+	if budget <= 0 {
+		return 0, 0, fmt.Errorf("core: non-positive budget %v", budget)
+	}
+	grid := []sim.Duration{
+		1 * sim.Microsecond, 2 * sim.Microsecond, 5 * sim.Microsecond,
+		10 * sim.Microsecond, 20 * sim.Microsecond, 50 * sim.Microsecond,
+		100 * sim.Microsecond, 200 * sim.Microsecond, 500 * sim.Microsecond,
+		1 * sim.Millisecond, 2 * sim.Millisecond, 5 * sim.Millisecond,
+		10 * sim.Millisecond, 100 * sim.Millisecond, 1 * sim.Second,
+	}
+	var best sim.Duration
+	for _, sl := range grid {
+		pred, err := s.Surface.Predict(app, sl)
+		if err != nil {
+			return 0, 0, err
+		}
+		if pred.Upper <= budget {
+			best = sl
+		} else {
+			break
+		}
+	}
+	return best, fabric.DistanceForDelay(best), nil
+}
+
+// Verdict summarizes one application's CDI viability at a slack value.
+type Verdict struct {
+	App        string
+	Slack      sim.Duration
+	Prediction model.Prediction
+	// ReachKm is the fibre distance the slack corresponds to.
+	ReachKm float64
+	// Viable is true when even the pessimistic bound stays under 1 %.
+	Viable bool
+}
+
+// Assess produces the paper's headline check for one application: the
+// penalty bounds at 100 µs of slack (≈ 20 km of fibre) against the 1% bar.
+func (s *Study) Assess(app model.AppProfile) (Verdict, error) {
+	const slack = 100 * sim.Microsecond
+	pred, err := s.Surface.Predict(app, slack)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		App:        app.Label,
+		Slack:      slack,
+		Prediction: pred,
+		ReachKm:    fabric.DistanceForDelay(slack),
+		Viable:     pred.Upper < 0.01,
+	}, nil
+}

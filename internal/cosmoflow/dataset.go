@@ -1,0 +1,129 @@
+package cosmoflow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sample is one training example: a density volume and its target
+// cosmological parameters.
+type Sample struct {
+	Volume *Tensor
+	Target *Tensor // [nParams]×1×1×1
+}
+
+// Dataset is a synthetic stand-in for the CosmoFlow cosmology volumes: for
+// each sample a parameter vector θ is drawn, and a pseudo-density volume is
+// synthesized whose large-scale statistics depend deterministically on θ —
+// so the regression task is actually learnable, unlike pure noise.
+type Dataset struct {
+	Samples []Sample
+	NParams int
+}
+
+// NewDataset synthesizes n samples of side³ volumes with c channels and
+// nParams targets, deterministically from seed.
+func NewDataset(n, c, side, nParams int, seed int64) *Dataset {
+	if n <= 0 || nParams <= 0 {
+		panic(fmt.Sprintf("cosmoflow: invalid dataset shape n=%d params=%d", n, nParams))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{NParams: nParams}
+	for i := 0; i < n; i++ {
+		target := NewTensor(nParams, 1, 1, 1)
+		for j := range target.Data {
+			target.Data[j] = rng.Float64()*2 - 1 // θ ∈ [-1, 1]
+		}
+		ds.Samples = append(ds.Samples, Sample{
+			Volume: synthesize(c, side, target.Data, rng),
+			Target: target,
+		})
+	}
+	return ds
+}
+
+// synthesize builds a volume whose mean level, gradient direction, and
+// oscillation frequency encode the parameters, plus noise.
+func synthesize(c, side int, theta []float64, rng *rand.Rand) *Tensor {
+	t := NewTensor(c, side, side, side)
+	p := func(i int) float64 {
+		if i < len(theta) {
+			return theta[i]
+		}
+		return 0
+	}
+	for ch := 0; ch < c; ch++ {
+		for z := 0; z < side; z++ {
+			for y := 0; y < side; y++ {
+				for x := 0; x < side; x++ {
+					fz := float64(z) / float64(side)
+					fy := float64(y) / float64(side)
+					fx := float64(x) / float64(side)
+					v := p(0) + // overall density level
+						p(1)*(fx-0.5)*2 + // gradient along x
+						p(2)*math.Sin(2*math.Pi*(1+2*math.Abs(p(2)))*fy) + // oscillation
+						p(3)*(fz-0.5)*(fx-0.5)*4 + // cross term
+						0.1*rng.NormFloat64() // observational noise
+					t.Set(ch, z, y, x, v)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Split partitions the dataset into train and validation subsets.
+func (d *Dataset) Split(trainFrac float64) (train, val *Dataset) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic("cosmoflow: train fraction must be in (0,1)")
+	}
+	n := int(float64(len(d.Samples)) * trainFrac)
+	return &Dataset{Samples: d.Samples[:n], NParams: d.NParams},
+		&Dataset{Samples: d.Samples[n:], NParams: d.NParams}
+}
+
+// Trainer runs numeric-mode SGD over a dataset.
+type Trainer struct {
+	Net *Network
+	// LR is the learning rate; Clip, when positive, clips each gradient
+	// component to ±Clip (3-D conv gradients can spike early).
+	LR   float64
+	Clip float64
+}
+
+// TrainEpoch runs one pass over the dataset (per-sample SGD) and returns
+// the mean loss.
+func (t *Trainer) TrainEpoch(ds *Dataset) float64 {
+	var total float64
+	for _, s := range ds.Samples {
+		t.Net.ZeroGrads()
+		pred := t.Net.Forward(s.Volume)
+		loss, g := MSELoss(pred, s.Target)
+		t.Net.Backward(g)
+		if t.Clip > 0 {
+			for _, pg := range t.Net.Params() {
+				for i := range pg.Grad {
+					if pg.Grad[i] > t.Clip {
+						pg.Grad[i] = t.Clip
+					} else if pg.Grad[i] < -t.Clip {
+						pg.Grad[i] = -t.Clip
+					}
+				}
+			}
+		}
+		t.Net.SGDStep(t.LR)
+		total += loss
+	}
+	return total / float64(len(ds.Samples))
+}
+
+// Evaluate returns the mean loss without updating parameters.
+func (t *Trainer) Evaluate(ds *Dataset) float64 {
+	var total float64
+	for _, s := range ds.Samples {
+		loss, _ := MSELoss(t.Net.Forward(s.Volume), s.Target)
+		total += loss
+	}
+	return total / float64(len(ds.Samples))
+}

@@ -1,0 +1,404 @@
+package cosmoflow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable stage of the network. Forward consumes the
+// previous activation; Backward consumes the loss gradient w.r.t. the
+// layer output and returns the gradient w.r.t. its input, accumulating
+// parameter gradients internally.
+type Layer interface {
+	Forward(x *Tensor) *Tensor
+	Backward(dout *Tensor) *Tensor
+	// Params returns parameter/gradient slice pairs for the optimizer and
+	// the Horovod allreduce (nil for parameter-free layers).
+	Params() []ParamGrad
+	Name() string
+}
+
+// ParamGrad pairs a parameter vector with its gradient accumulator.
+type ParamGrad struct {
+	Param []float64
+	Grad  []float64
+}
+
+// Conv3D is a 3-D convolution with kernel size K, stride 1 and zero
+// padding K/2 ("same").
+type Conv3D struct {
+	Cin, Cout, K int
+	// W is [cout][cin][kz][ky][kx] flattened; B is per-output-channel bias.
+	W, B   []float64
+	dW, dB []float64
+	x      *Tensor // saved input for backward
+}
+
+// NewConv3D builds a conv layer with He-initialized weights.
+func NewConv3D(cin, cout, k int, rng *rand.Rand) *Conv3D {
+	if k%2 == 0 {
+		panic("cosmoflow: conv kernel must be odd for same padding")
+	}
+	n := cout * cin * k * k * k
+	c := &Conv3D{
+		Cin: cin, Cout: cout, K: k,
+		W: make([]float64, n), B: make([]float64, cout),
+		dW: make([]float64, n), dB: make([]float64, cout),
+	}
+	std := math.Sqrt(2 / float64(cin*k*k*k))
+	for i := range c.W {
+		c.W[i] = rng.NormFloat64() * std
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv3D) Name() string { return fmt.Sprintf("conv3d_%dx%d", c.Cin, c.Cout) }
+
+// widx returns the flat weight index.
+func (c *Conv3D) widx(co, ci, kz, ky, kx int) int {
+	return (((co*c.Cin+ci)*c.K+kz)*c.K+ky)*c.K + kx
+}
+
+// Forward implements Layer.
+func (c *Conv3D) Forward(x *Tensor) *Tensor {
+	if x.C != c.Cin {
+		panic(fmt.Sprintf("cosmoflow: conv input channels %d, want %d", x.C, c.Cin))
+	}
+	c.x = x
+	out := NewTensor(c.Cout, x.D, x.H, x.W)
+	p := c.K / 2
+	for co := 0; co < c.Cout; co++ {
+		for z := 0; z < x.D; z++ {
+			for y := 0; y < x.H; y++ {
+				for xx := 0; xx < x.W; xx++ {
+					sum := c.B[co]
+					for ci := 0; ci < c.Cin; ci++ {
+						for kz := 0; kz < c.K; kz++ {
+							for ky := 0; ky < c.K; ky++ {
+								for kx := 0; kx < c.K; kx++ {
+									v := x.atPadded(ci, z+kz-p, y+ky-p, xx+kx-p)
+									if v != 0 {
+										sum += v * c.W[c.widx(co, ci, kz, ky, kx)]
+									}
+								}
+							}
+						}
+					}
+					out.Set(co, z, y, xx, sum)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv3D) Backward(dout *Tensor) *Tensor {
+	x := c.x
+	dx := NewTensor(x.C, x.D, x.H, x.W)
+	p := c.K / 2
+	for co := 0; co < c.Cout; co++ {
+		for z := 0; z < x.D; z++ {
+			for y := 0; y < x.H; y++ {
+				for xx := 0; xx < x.W; xx++ {
+					g := dout.At(co, z, y, xx)
+					if g == 0 {
+						continue
+					}
+					c.dB[co] += g
+					for ci := 0; ci < c.Cin; ci++ {
+						for kz := 0; kz < c.K; kz++ {
+							iz := z + kz - p
+							if iz < 0 || iz >= x.D {
+								continue
+							}
+							for ky := 0; ky < c.K; ky++ {
+								iy := y + ky - p
+								if iy < 0 || iy >= x.H {
+									continue
+								}
+								for kx := 0; kx < c.K; kx++ {
+									ix := xx + kx - p
+									if ix < 0 || ix >= x.W {
+										continue
+									}
+									wi := c.widx(co, ci, kz, ky, kx)
+									c.dW[wi] += g * x.At(ci, iz, iy, ix)
+									dx.Data[dx.idx(ci, iz, iy, ix)] += g * c.W[wi]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv3D) Params() []ParamGrad {
+	return []ParamGrad{{c.W, c.dW}, {c.B, c.dB}}
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	out := x.Clone()
+	r.mask = make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *Tensor) *Tensor {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []ParamGrad { return nil }
+
+// MaxPool3D is a 2×2×2 stride-2 max pool.
+type MaxPool3D struct {
+	argmax []int
+	inC    int
+	inD    int
+	inH    int
+	inW    int
+}
+
+// Name implements Layer.
+func (m *MaxPool3D) Name() string { return "maxpool3d" }
+
+// Forward implements Layer.
+func (m *MaxPool3D) Forward(x *Tensor) *Tensor {
+	if x.D%2 != 0 || x.H%2 != 0 || x.W%2 != 0 {
+		panic("cosmoflow: pool input extents must be even")
+	}
+	m.inC, m.inD, m.inH, m.inW = x.C, x.D, x.H, x.W
+	out := NewTensor(x.C, x.D/2, x.H/2, x.W/2)
+	m.argmax = make([]int, out.Len())
+	for c := 0; c < x.C; c++ {
+		for z := 0; z < out.D; z++ {
+			for y := 0; y < out.H; y++ {
+				for xx := 0; xx < out.W; xx++ {
+					// Initialize from the first window element so the pool
+					// stays well-defined even for NaN activations.
+					bi := x.idx(c, 2*z, 2*y, 2*xx)
+					best := x.Data[bi]
+					for dz := 0; dz < 2; dz++ {
+						for dy := 0; dy < 2; dy++ {
+							for dx := 0; dx < 2; dx++ {
+								i := x.idx(c, 2*z+dz, 2*y+dy, 2*xx+dx)
+								if x.Data[i] > best {
+									best = x.Data[i]
+									bi = i
+								}
+							}
+						}
+					}
+					oi := out.idx(c, z, y, xx)
+					out.Data[oi] = best
+					m.argmax[oi] = bi
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool3D) Backward(dout *Tensor) *Tensor {
+	dx := NewTensor(m.inC, m.inD, m.inH, m.inW)
+	for oi, g := range dout.Data {
+		dx.Data[m.argmax[oi]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool3D) Params() []ParamGrad { return nil }
+
+// Dense is a fully connected layer over the flattened input tensor.
+type Dense struct {
+	In, Out int
+	W, B    []float64
+	dW, dB  []float64
+	x       *Tensor
+}
+
+// NewDense builds a dense layer with He-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: make([]float64, in*out), B: make([]float64, out),
+		dW: make([]float64, in*out), dB: make([]float64, out),
+	}
+	std := math.Sqrt(2 / float64(in))
+	for i := range d.W {
+		d.W[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense_%dx%d", d.In, d.Out) }
+
+// Forward implements Layer. The input is flattened; output has shape
+// [Out]×1×1×1.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("cosmoflow: dense input %d, want %d", x.Len(), d.In))
+	}
+	d.x = x
+	out := NewTensor(d.Out, 1, 1, 1)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, v := range x.Data {
+			sum += row[i] * v
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *Tensor) *Tensor {
+	dx := NewTensor(d.x.C, d.x.D, d.x.H, d.x.W)
+	for o := 0; o < d.Out; o++ {
+		g := dout.Data[o]
+		if g == 0 {
+			continue
+		}
+		d.dB[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		drow := d.dW[o*d.In : (o+1)*d.In]
+		for i, v := range d.x.Data {
+			drow[i] += g * v
+			dx.Data[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []ParamGrad {
+	return []ParamGrad{{d.W, d.dW}, {d.B, d.dB}}
+}
+
+// Network is an ordered stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a small CosmoFlow-shaped model for a cubic input of
+// the given side and channel count: conv/pool blocks down to a 4³ volume,
+// then two dense layers regressing nParams cosmological parameters.
+func NewNetwork(side, channels, nParams int, rng *rand.Rand) *Network {
+	if side < 8 || side&(side-1) != 0 {
+		panic("cosmoflow: input side must be a power of two ≥ 8")
+	}
+	n := &Network{}
+	cin := channels
+	cout := 16
+	for s := side; s > 4; s /= 2 {
+		n.Layers = append(n.Layers, NewConv3D(cin, cout, 3, rng), &ReLU{}, &MaxPool3D{})
+		cin = cout
+		if cout < 256 {
+			cout *= 2
+		}
+	}
+	flat := cin * 4 * 4 * 4
+	n.Layers = append(n.Layers, NewDense(flat, 64, rng), &ReLU{}, NewDense(64, nParams, rng))
+	return n
+}
+
+// Forward runs the full stack.
+func (n *Network) Forward(x *Tensor) *Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through the stack.
+func (n *Network) Backward(dout *Tensor) *Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns all parameter/gradient pairs in layer order.
+func (n *Network) Params() []ParamGrad {
+	var out []ParamGrad
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, pg := range n.Params() {
+		total += len(pg.Param)
+	}
+	return total
+}
+
+// ZeroGrads clears all gradient accumulators.
+func (n *Network) ZeroGrads() {
+	for _, pg := range n.Params() {
+		for i := range pg.Grad {
+			pg.Grad[i] = 0
+		}
+	}
+}
+
+// SGDStep applies one vanilla gradient-descent update.
+func (n *Network) SGDStep(lr float64) {
+	for _, pg := range n.Params() {
+		for i := range pg.Param {
+			pg.Param[i] -= lr * pg.Grad[i]
+		}
+	}
+}
+
+// MSELoss returns ½‖pred−target‖²/n and the gradient w.r.t. pred.
+func MSELoss(pred, target *Tensor) (float64, *Tensor) {
+	if !pred.SameShape(target) {
+		panic("cosmoflow: loss shape mismatch")
+	}
+	grad := NewTensor(pred.C, pred.D, pred.H, pred.W)
+	var loss float64
+	inv := 1 / float64(pred.Len())
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d * inv / 2
+		grad.Data[i] = d * inv
+	}
+	return loss, grad
+}

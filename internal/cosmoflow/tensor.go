@@ -1,0 +1,81 @@
+// Package cosmoflow implements a miniature of the CosmoFlow benchmark the
+// paper profiles: a 3-D convolutional network that regresses cosmological
+// parameters from voxelized dark-matter density volumes, trained with
+// data-parallel workers synchronized by Horovod-style allreduce.
+//
+// Like the LAMMPS mini-app it has two modes: numeric (this file and
+// net.go — real conv3d/pool/dense forward and backward passes on the CPU,
+// validated by finite-difference gradient checks) and performance
+// (perf.go — the same training loop driven through the simulated
+// CUDA/GPU/Horovod substrates with cost models, reproducing the paper's
+// trace and CPU-affinity experiments).
+package cosmoflow
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tensor is a dense 4-D array in [channel][depth][height][width] layout.
+type Tensor struct {
+	C, D, H, W int
+	Data       []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(c, d, h, w int) *Tensor {
+	if c <= 0 || d <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("cosmoflow: invalid tensor shape %d×%d×%d×%d", c, d, h, w))
+	}
+	return &Tensor{C: c, D: d, H: h, W: w, Data: make([]float64, c*d*h*w)}
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// idx returns the flat index of (c, z, y, x).
+func (t *Tensor) idx(c, z, y, x int) int {
+	return ((c*t.D+z)*t.H+y)*t.W + x
+}
+
+// At returns the element at (c, z, y, x).
+func (t *Tensor) At(c, z, y, x int) float64 { return t.Data[t.idx(c, z, y, x)] }
+
+// Set stores v at (c, z, y, x).
+func (t *Tensor) Set(c, z, y, x int, v float64) { t.Data[t.idx(c, z, y, x)] = v }
+
+// atPadded returns the element at (c, z, y, x) or 0 outside the volume
+// (zero padding).
+func (t *Tensor) atPadded(c, z, y, x int) float64 {
+	if z < 0 || z >= t.D || y < 0 || y >= t.H || x < 0 || x >= t.W {
+		return 0
+	}
+	return t.Data[t.idx(c, z, y, x)]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := NewTensor(t.C, t.D, t.H, t.W)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Fill sets every element from the generator.
+func (t *Tensor) Fill(f func() float64) {
+	for i := range t.Data {
+		t.Data[i] = f()
+	}
+}
+
+// SameShape reports whether u has the same shape as t.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	return t.C == u.C && t.D == u.D && t.H == u.H && t.W == u.W
+}
+
+// RandomVolume generates a synthetic "universe": smoothed Gaussian noise,
+// a stand-in for the N-body density volumes of the CosmoFlow dataset.
+func RandomVolume(c, side int, rng *rand.Rand) *Tensor {
+	t := NewTensor(c, side, side, side)
+	t.Fill(rng.NormFloat64)
+	return t
+}

@@ -1,0 +1,712 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// fastSpec is a small, round-numbered spec that makes expected durations
+// easy to compute by hand.
+func fastSpec() Spec {
+	return Spec{
+		Name:             "test-gpu",
+		MemoryBytes:      1 << 30,
+		MemoryBandwidth:  1e12,
+		PeakFLOPS:        1e12,
+		H2DBandwidth:     1e9,
+		D2HBandwidth:     1e9,
+		CopyLatency:      0,
+		LaunchOverhead:   0,
+		MinKernelTime:    0,
+		WarmupRate:       0,
+		WarmupSaturation: 0,
+		DMAEngines:       2,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := A100().Validate(); err != nil {
+		t.Fatalf("A100 spec invalid: %v", err)
+	}
+	bad := A100()
+	bad.MemoryBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero memory accepted")
+	}
+	bad = A100()
+	bad.DMAEngines = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero DMA engines accepted")
+	}
+	bad = A100()
+	bad.WarmupRate = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}
+
+func TestNewDeviceRejectsBadSpec(t *testing.T) {
+	if _, err := NewDevice(sim.NewEnv(), Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	env := sim.NewEnv()
+	d, err := NewDevice(env, fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := d.Malloc(1 << 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != 1<<29 {
+		t.Errorf("MemUsed = %d", d.MemUsed())
+	}
+	if n, err := d.AllocSize(p1); err != nil || n != 1<<29 {
+		t.Errorf("AllocSize = %d, %v", n, err)
+	}
+	if _, err := d.Malloc(1 << 30); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("overcommit error = %v, want ErrOutOfMemory", err)
+	}
+	p2, err := d.Malloc(1 << 29)
+	if err != nil {
+		t.Fatalf("exact-fit alloc failed: %v", err)
+	}
+	if err := d.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(p1); !errors.Is(err, ErrBadPointer) {
+		t.Errorf("double free error = %v, want ErrBadPointer", err)
+	}
+	if err := d.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != 0 {
+		t.Errorf("MemUsed after frees = %d", d.MemUsed())
+	}
+	if _, err := d.Malloc(0); err == nil {
+		t.Error("zero-byte Malloc accepted")
+	}
+	if _, err := d.AllocSize(Ptr(999)); !errors.Is(err, ErrBadPointer) {
+		t.Errorf("AllocSize of bogus ptr = %v", err)
+	}
+}
+
+func TestKernelBaseDurationComputeBound(t *testing.T) {
+	spec := fastSpec()
+	k := Kernel{Name: "k", FLOPs: 1e9, Efficiency: 0.5} // 1e9/(1e12*0.5) = 2ms
+	if got := k.baseDuration(spec); math.Abs(float64(got-2*sim.Millisecond)) > 1e-12 {
+		t.Errorf("duration = %v, want 2ms", got)
+	}
+}
+
+func TestKernelBaseDurationMemoryBound(t *testing.T) {
+	spec := fastSpec()
+	k := Kernel{Name: "k", FLOPs: 1, Efficiency: 1, MemBytes: 1e9} // 1ms at 1TB/s
+	if got := k.baseDuration(spec); math.Abs(float64(got-1*sim.Millisecond)) > 1e-12 {
+		t.Errorf("duration = %v, want 1ms", got)
+	}
+}
+
+func TestKernelMinTimeFloor(t *testing.T) {
+	spec := fastSpec()
+	spec.MinKernelTime = 3 * sim.Microsecond
+	k := Kernel{Name: "tiny", FLOPs: 1, Efficiency: 1}
+	if got := k.baseDuration(spec); got != 3*sim.Microsecond {
+		t.Errorf("duration = %v, want floor 3µs", got)
+	}
+}
+
+func TestKernelFixedTime(t *testing.T) {
+	k := Fixed("replay", 7*sim.Millisecond)
+	if got := k.baseDuration(A100()); got != 7*sim.Millisecond {
+		t.Errorf("duration = %v, want 7ms", got)
+	}
+	if k.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestKernelInvalidEfficiencyTreatedAsFull(t *testing.T) {
+	spec := fastSpec()
+	k := Kernel{Name: "k", FLOPs: 1e9, Efficiency: 0} // treated as 1.0
+	if got := k.baseDuration(spec); math.Abs(float64(got-1*sim.Millisecond)) > 1e-12 {
+		t.Errorf("duration = %v, want 1ms", got)
+	}
+}
+
+func TestMatMulScaling(t *testing.T) {
+	// Durations must grow strictly with n and super-linearly (n^3 work).
+	spec := A100()
+	var prev sim.Duration
+	for _, n := range []int{512, 2048, 8192, 32768} {
+		d := MatMul(n).baseDuration(spec)
+		if d <= prev {
+			t.Fatalf("MatMul(%d) = %v not increasing (prev %v)", n, d, prev)
+		}
+		prev = d
+	}
+	// Regime check driving Table II's N clamps: the 512 multiply is
+	// sub-millisecond (N pegs at the 1000 ceiling: 30s/kernel > 1000) and
+	// the 32768 multiply takes seconds (N pegs at the 5 floor).
+	if d := MatMul(512).baseDuration(spec); d > 1*sim.Millisecond {
+		t.Errorf("MatMul(512) = %v, want < 1ms", d)
+	}
+	if d := MatMul(32768).baseDuration(spec); d < 2*sim.Second {
+		t.Errorf("MatMul(32768) = %v, want multiple seconds", d)
+	}
+}
+
+func TestMatrixBytes(t *testing.T) {
+	// 2^15 squared floats = 4 GiB — the paper's "3 matrices don't fit with
+	// 4 threads" arithmetic depends on this.
+	if got := MatrixBytes(32768); got != 4*(1<<30) {
+		t.Errorf("MatrixBytes(32768) = %d, want 4GiB", got)
+	}
+	if got := MatrixBytes(512); got != 1<<20 {
+		t.Errorf("MatrixBytes(512) = %d, want 1MiB", got)
+	}
+}
+
+func TestKernelConstructorsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MatMul":  func() { MatMul(0) },
+		"LJForce": func() { LJForce(0, 1) },
+		"Conv3D":  func() { Conv3D(0, 1, 1, 1, 1) },
+		"Dense":   func() { Dense(0, 1, 1) },
+		"Fixed":   func() { Fixed("x", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with invalid args did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWorkloadKernelsHaveDistinctNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, k := range []Kernel{
+		MatMul(512), LJForce(1000, 30), NeighborBuild(1000, 30),
+		Conv3D(1, 4, 16, 3, 64), Dense(1, 128, 64), Pool3D(1, 16, 32),
+		Elementwise("relu", 100),
+	} {
+		if k.Name == "" {
+			t.Errorf("kernel with empty name: %v", k)
+		}
+		names[k.Name] = true
+	}
+	if len(names) < 7 {
+		t.Errorf("expected 7 distinct kernel names, got %d", len(names))
+	}
+}
+
+func TestStreamExecutesInOrder(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec())
+	var events []KernelEvent
+	d.Listen(listenerFunc{onKernel: func(ev KernelEvent) { events = append(events, ev) }})
+	s := d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s.EnqueueKernel(Fixed("k1", 1*sim.Millisecond))
+		s.EnqueueKernel(Fixed("k2", 2*sim.Millisecond))
+		s.Sync(p)
+	})
+	env.Run()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Name != "k1" || events[1].Name != "k2" {
+		t.Errorf("order: %s, %s", events[0].Name, events[1].Name)
+	}
+	if events[1].Start != events[0].End {
+		t.Errorf("k2 start %v != k1 end %v (in-order back-to-back)", events[1].Start, events[0].End)
+	}
+}
+
+func TestCopyDuration(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	spec := fastSpec() // 1 GB/s copy bandwidth
+	d, _ := NewDevice(env, spec)
+	var ev CopyEvent
+	d.Listen(listenerFunc{onCopy: func(e CopyEvent) { ev = e }})
+	s := d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s.EnqueueCopy(H2D, 1_000_000) // 1 MB at 1 GB/s = 1 ms
+		s.Sync(p)
+	})
+	env.Run()
+	if got := ev.Duration(); math.Abs(float64(got-1*sim.Millisecond)) > 1e-12 {
+		t.Errorf("copy duration = %v, want 1ms", got)
+	}
+	c := d.Counters()
+	if c.CopiesH2D != 1 || c.BytesH2D != 1_000_000 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestCopyDirectionsCounted(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec())
+	s := d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s.EnqueueCopy(H2D, 100)
+		s.EnqueueCopy(D2H, 200)
+		s.EnqueueCopy(D2D, 300)
+		s.Sync(p)
+	})
+	env.Run()
+	c := d.Counters()
+	if c.CopiesH2D != 1 || c.CopiesD2H != 1 || c.CopiesD2D != 1 {
+		t.Errorf("copy counts = %+v", c)
+	}
+	if c.BytesH2D != 100 || c.BytesD2H != 200 || c.BytesD2D != 300 {
+		t.Errorf("copy bytes = %+v", c)
+	}
+}
+
+func TestKernelsFromTwoStreamsSerializeOnCompute(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec())
+	s1, s2 := d.NewStream(), d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s1.EnqueueKernel(Fixed("a", 1*sim.Millisecond))
+		s2.EnqueueKernel(Fixed("b", 1*sim.Millisecond))
+		d.Sync(p)
+	})
+	end := env.Run()
+	if math.Abs(float64(end)-2e-3) > 1e-12 {
+		t.Errorf("two 1ms kernels finished at %v, want 2ms (serialized)", end)
+	}
+}
+
+func TestCopiesOverlapOnSeparateEngines(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec()) // 2 DMA engines
+	s1, s2 := d.NewStream(), d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s1.EnqueueCopy(H2D, 1_000_000)
+		s2.EnqueueCopy(D2H, 1_000_000)
+		d.Sync(p)
+	})
+	end := env.Run()
+	if math.Abs(float64(end)-1e-3) > 1e-12 {
+		t.Errorf("overlapped copies finished at %v, want 1ms", end)
+	}
+}
+
+func TestCopyOverlapsKernel(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec())
+	s1, s2 := d.NewStream(), d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s1.EnqueueKernel(Fixed("k", 1*sim.Millisecond))
+		s2.EnqueueCopy(H2D, 1_000_000)
+		d.Sync(p)
+	})
+	end := env.Run()
+	if math.Abs(float64(end)-1e-3) > 1e-12 {
+		t.Errorf("kernel+copy finished at %v, want 1ms (overlap)", end)
+	}
+}
+
+func TestWarmupChargedAfterIdleGap(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	spec := fastSpec()
+	spec.WarmupRate = 0.5
+	spec.WarmupSaturation = 1 * sim.Second
+	d, _ := NewDevice(env, spec)
+	var events []KernelEvent
+	d.Listen(listenerFunc{onKernel: func(ev KernelEvent) { events = append(events, ev) }})
+	s := d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s.EnqueueKernel(Fixed("k1", 1*sim.Millisecond))
+		s.Sync(p)
+		p.Sleep(10 * sim.Millisecond) // starve the device
+		s.EnqueueKernel(Fixed("k2", 1*sim.Millisecond))
+		s.Sync(p)
+	})
+	env.Run()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Warmup != 0 {
+		t.Errorf("first kernel warmup = %v, want 0 (cold device starts clean)", events[0].Warmup)
+	}
+	want := 5 * sim.Millisecond // 0.5 × 10ms gap
+	if math.Abs(float64(events[1].Warmup-want)) > 1e-12 {
+		t.Errorf("warmup = %v, want %v", events[1].Warmup, want)
+	}
+	if math.Abs(float64(events[1].IdleGap-10*sim.Millisecond)) > 1e-12 {
+		t.Errorf("idle gap = %v, want 10ms", events[1].IdleGap)
+	}
+	if got := events[1].Duration(); math.Abs(float64(got-6*sim.Millisecond)) > 1e-12 {
+		t.Errorf("stretched duration = %v, want 6ms", got)
+	}
+	c := d.Counters()
+	if c.IdleEvents != 1 || math.Abs(float64(c.WarmupTotal-want)) > 1e-12 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestWarmupSaturates(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	spec := fastSpec()
+	spec.WarmupRate = 0.5
+	spec.WarmupSaturation = 5 * sim.Millisecond
+	d, _ := NewDevice(env, spec)
+	var last KernelEvent
+	d.Listen(listenerFunc{onKernel: func(ev KernelEvent) { last = ev }})
+	s := d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s.EnqueueKernel(Fixed("k1", 1*sim.Millisecond))
+		s.Sync(p)
+		p.Sleep(1 * sim.Second) // far beyond saturation
+		s.EnqueueKernel(Fixed("k2", 1*sim.Millisecond))
+		s.Sync(p)
+	})
+	env.Run()
+	want := sim.Duration(0.5) * 5 * sim.Millisecond
+	if math.Abs(float64(last.Warmup-want)) > 1e-12 {
+		t.Errorf("saturated warmup = %v, want %v", last.Warmup, want)
+	}
+}
+
+func TestBackToBackKernelsPayNoWarmup(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	spec := fastSpec()
+	spec.WarmupRate = 0.5
+	spec.WarmupSaturation = 1 * sim.Second
+	d, _ := NewDevice(env, spec)
+	var total sim.Duration
+	d.Listen(listenerFunc{onKernel: func(ev KernelEvent) { total += ev.Warmup }})
+	s := d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			s.EnqueueKernel(Fixed("k", 1*sim.Millisecond))
+		}
+		s.Sync(p)
+	})
+	env.Run()
+	if total != 0 {
+		t.Errorf("queued kernels paid %v of warmup, want 0", total)
+	}
+}
+
+func TestSecondStreamFillsIdleGap(t *testing.T) {
+	// A second submitter's kernels keep the device warm: the paper's
+	// "number of kernels given to the GPU in parallel is proportional to
+	// slack tolerance" mechanism.
+	run := func(parallel bool) sim.Duration {
+		env := sim.NewEnv()
+		defer env.Close()
+		spec := fastSpec()
+		spec.WarmupRate = 0.5
+		spec.WarmupSaturation = 1 * sim.Second
+		d, _ := NewDevice(env, spec)
+		var total sim.Duration
+		d.Listen(listenerFunc{onKernel: func(ev KernelEvent) { total += ev.Warmup }})
+		s1 := d.NewStream()
+		env.Spawn("host1", func(p *sim.Proc) {
+			for i := 0; i < 5; i++ {
+				op := s1.EnqueueKernel(Fixed("k", 1*sim.Millisecond))
+				op.Wait(p)
+				p.Sleep(4 * sim.Millisecond) // slack-like host delay
+			}
+		})
+		if parallel {
+			s2 := d.NewStream()
+			env.SpawnAt(2*sim.Millisecond, "host2", func(p *sim.Proc) {
+				for i := 0; i < 5; i++ {
+					op := s2.EnqueueKernel(Fixed("k", 1*sim.Millisecond))
+					op.Wait(p)
+					p.Sleep(4 * sim.Millisecond)
+				}
+			})
+		}
+		env.Run()
+		return total
+	}
+	solo := run(false)
+	dual := run(true)
+	if solo <= 0 {
+		t.Fatalf("solo warmup = %v, want positive", solo)
+	}
+	if dual >= solo {
+		t.Errorf("parallel submitters warmup %v >= solo %v; gaps should shrink", dual, solo)
+	}
+}
+
+func TestOpWaitAndDone(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec())
+	s := d.NewStream()
+	var doneAt sim.Time
+	env.Spawn("host", func(p *sim.Proc) {
+		op := s.EnqueueKernel(Fixed("k", 2*sim.Millisecond))
+		if op.Done() {
+			t.Error("op done immediately after enqueue")
+		}
+		op.Wait(p)
+		if !op.Done() {
+			t.Error("op not done after Wait")
+		}
+		doneAt = p.Now()
+		op.Wait(p) // waiting on a done op must not block
+	})
+	env.Run()
+	if math.Abs(float64(doneAt)-2e-3) > 1e-12 {
+		t.Errorf("op completed at %v, want 2ms", doneAt)
+	}
+}
+
+func TestDeviceSyncWaitsAllStreams(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec())
+	s1, s2 := d.NewStream(), d.NewStream()
+	var syncAt sim.Time
+	env.Spawn("host", func(p *sim.Proc) {
+		s1.EnqueueKernel(Fixed("a", 1*sim.Millisecond))
+		s2.EnqueueCopy(H2D, 3_000_000) // 3ms
+		d.Sync(p)
+		syncAt = p.Now()
+	})
+	env.Run()
+	if math.Abs(float64(syncAt)-3e-3) > 1e-12 {
+		t.Errorf("device sync at %v, want 3ms", syncAt)
+	}
+}
+
+func TestStreamDestroy(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec())
+	s := d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s.EnqueueKernel(Fixed("k", 1*sim.Millisecond))
+		s.Sync(p)
+		s.Destroy()
+	})
+	env.Run()
+	if got := env.Blocked(); len(got) != 0 {
+		t.Errorf("destroyed stream left blocked procs: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("enqueue on destroyed stream did not panic")
+		}
+	}()
+	s.EnqueueKernel(Fixed("k", 1*sim.Millisecond))
+}
+
+func TestUtilization(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec())
+	if d.Utilization() != 0 {
+		t.Error("utilization nonzero before any work")
+	}
+	s := d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s.EnqueueKernel(Fixed("k", 1*sim.Millisecond))
+		s.Sync(p)
+		p.Sleep(1 * sim.Millisecond)
+	})
+	env.Run()
+	if u := d.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if H2D.String() != "HtoD" || D2H.String() != "DtoH" || D2D.String() != "DtoD" {
+		t.Error("direction names wrong")
+	}
+	if Direction(9).String() == "" {
+		t.Error("unknown direction empty")
+	}
+}
+
+// Property: total compute-busy time equals the sum of kernel durations
+// regardless of stream layout.
+func TestPropertyComputeBusyConservation(t *testing.T) {
+	f := func(durs []uint8, streams uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 30 {
+			durs = durs[:30]
+		}
+		ns := int(streams%4) + 1
+		env := sim.NewEnv()
+		defer env.Close()
+		d, _ := NewDevice(env, fastSpec())
+		var want sim.Duration
+		ss := make([]*Stream, ns)
+		for i := range ss {
+			ss[i] = d.NewStream()
+		}
+		env.Spawn("host", func(p *sim.Proc) {
+			for i, u := range durs {
+				dur := sim.Duration(int(u)+1) * sim.Microsecond
+				want += dur
+				ss[i%ns].EnqueueKernel(Fixed("k", dur))
+			}
+			d.Sync(p)
+		})
+		env.Run()
+		got := d.Counters().ComputeBusy
+		return math.Abs(float64(got-want)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// listenerFunc adapts closures to the Listener interface.
+type listenerFunc struct {
+	onKernel func(KernelEvent)
+	onCopy   func(CopyEvent)
+}
+
+func (l listenerFunc) OnKernel(ev KernelEvent) {
+	if l.onKernel != nil {
+		l.onKernel(ev)
+	}
+}
+func (l listenerFunc) OnCopy(ev CopyEvent) {
+	if l.onCopy != nil {
+		l.onCopy(ev)
+	}
+}
+
+func TestContextSwitchChargedBetweenStreams(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	spec := fastSpec()
+	spec.ContextSwitch = 500 * sim.Microsecond
+	d, _ := NewDevice(env, spec)
+	var events []KernelEvent
+	d.Listen(listenerFunc{onKernel: func(ev KernelEvent) { events = append(events, ev) }})
+	s1, s2 := d.NewStream(), d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s1.EnqueueKernel(Fixed("a", 1*sim.Millisecond))
+		s1.EnqueueKernel(Fixed("a2", 1*sim.Millisecond))
+		s2.EnqueueKernel(Fixed("b", 1*sim.Millisecond))
+		d.Sync(p)
+	})
+	env.Run()
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Same-stream back-to-back: no switch. Cross-stream: one switch.
+	var switches int
+	var total sim.Duration
+	for _, ev := range events {
+		if ev.CtxSwitch > 0 {
+			switches++
+			total += ev.CtxSwitch
+		}
+		// Reported duration stays the pure kernel time.
+		if math.Abs(float64(ev.Duration()-1*sim.Millisecond)) > 1e-12 {
+			t.Errorf("kernel %s duration %v includes switch cost", ev.Name, ev.Duration())
+		}
+	}
+	if switches != 1 || total != 500*sim.Microsecond {
+		t.Errorf("switches=%d total=%v, want 1 and 500µs", switches, total)
+	}
+	c := d.Counters()
+	if c.CtxSwitches != 1 || c.CtxTotal != 500*sim.Microsecond {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestNoContextSwitchWhenDisabled(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d, _ := NewDevice(env, fastSpec()) // ContextSwitch zero
+	s1, s2 := d.NewStream(), d.NewStream()
+	env.Spawn("host", func(p *sim.Proc) {
+		s1.EnqueueKernel(Fixed("a", 1*sim.Millisecond))
+		s2.EnqueueKernel(Fixed("b", 1*sim.Millisecond))
+		d.Sync(p)
+	})
+	end := env.Run()
+	if math.Abs(float64(end)-2e-3) > 1e-12 {
+		t.Errorf("end = %v, want 2ms without switch cost", end)
+	}
+	if d.Counters().CtxSwitches != 0 {
+		t.Errorf("CtxSwitches = %d", d.Counters().CtxSwitches)
+	}
+}
+
+// Property: the allocator conserves memory across arbitrary malloc/free
+// sequences and never overcommits.
+func TestPropertyAllocatorConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := sim.NewEnv()
+		d, err := NewDevice(env, fastSpec()) // 1 GiB
+		if err != nil {
+			return false
+		}
+		type alloc struct {
+			ptr  Ptr
+			size int64
+		}
+		var live []alloc
+		var used int64
+		for i := 0; i < 100; i++ {
+			if rng.Intn(2) == 0 {
+				size := int64(rng.Intn(1<<28) + 1)
+				ptr, err := d.Malloc(size)
+				if err == nil {
+					live = append(live, alloc{ptr, size})
+					used += size
+				} else if used+size <= d.MemCapacity() {
+					return false // spurious OOM
+				}
+			} else if len(live) > 0 {
+				i := rng.Intn(len(live))
+				if err := d.Free(live[i].ptr); err != nil {
+					return false
+				}
+				used -= live[i].size
+				live = append(live[:i], live[i+1:]...)
+			}
+			if d.MemUsed() != used || used > d.MemCapacity() {
+				return false
+			}
+		}
+		for _, a := range live {
+			if err := d.Free(a.ptr); err != nil {
+				return false
+			}
+		}
+		return d.MemUsed() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,396 @@
+// Package lammps implements a miniature of the LAMMPS Lennard-Jones (LJ)
+// benchmark the paper profiles: the melt/LJ liquid in reduced units
+// (fcc lattice at ρ*=0.8442, T*=1.44, r_c=2.5σ — the bench/in.lj defaults).
+//
+// The package has two modes:
+//
+//   - Numeric mode (this file): a real molecular-dynamics engine — fcc
+//     initialization, cell-list neighbor search, shifted LJ forces,
+//     velocity-Verlet integration — used to validate physics invariants
+//     (momentum and energy conservation, pair symmetry) at small sizes.
+//
+//   - Performance mode (perf.go): the same algorithm driven through the
+//     simulated CUDA/GPU/MPI substrates with operation-count cost models,
+//     reproducing the paper's strong-scaling and trace experiments at
+//     production box sizes (millions of atoms) in virtual time.
+package lammps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Reduced-unit benchmark constants (LAMMPS bench/in.lj).
+const (
+	// Density is the reduced number density ρ*.
+	Density = 0.8442
+	// InitialTemp is the reduced initial temperature T*.
+	InitialTemp = 1.44
+	// Cutoff is the LJ interaction cutoff in σ.
+	Cutoff = 2.5
+	// DefaultTimestep is the reduced integration step.
+	DefaultTimestep = 0.005
+	// AtomsPerCell is the fcc basis size: 4 atoms per cubic lattice cell.
+	AtomsPerCell = 4
+)
+
+// Atoms returns the atom count for a given box size in the paper's units:
+// box size b is b³ fcc lattice cells of 4 atoms (box 20 = 32 000 atoms,
+// box 120 = 6 912 000; the paper's Table I agrees except for a typo at
+// box 60, printed as 288k where 4·60³ = 864k).
+func Atoms(boxSize int) int {
+	if boxSize <= 0 {
+		panic("lammps: box size must be positive")
+	}
+	return AtomsPerCell * boxSize * boxSize * boxSize
+}
+
+// Vec3 is a 3-vector in reduced units.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + u.
+func (v Vec3) Add(u Vec3) Vec3 { return Vec3{v.X + u.X, v.Y + u.Y, v.Z + u.Z} }
+
+// Sub returns v − u.
+func (v Vec3) Sub(u Vec3) Vec3 { return Vec3{v.X - u.X, v.Y - u.Y, v.Z - u.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns v·u.
+func (v Vec3) Dot(u Vec3) float64 { return v.X*u.X + v.Y*u.Y + v.Z*u.Z }
+
+// System is the numeric-mode simulation state.
+type System struct {
+	// N is the atom count; L the cubic box edge length.
+	N int
+	L float64
+
+	Pos   []Vec3
+	Vel   []Vec3
+	Force []Vec3
+
+	// Timestep is the integration step (reduced time units).
+	Timestep float64
+
+	cutoff  float64
+	cutSq   float64
+	eShift  float64 // potential value at the cutoff (shifted LJ)
+	cells   [][]int
+	nCells  int // per edge
+	cellLen float64
+
+	// StepsRun counts completed integration steps.
+	StepsRun int
+}
+
+// NewSystem builds an fcc lattice of boxSize³ cells at the benchmark
+// density and draws velocities for the benchmark temperature using the
+// seeded generator (net momentum removed).
+func NewSystem(boxSize int, seed int64) *System {
+	n := Atoms(boxSize)
+	// Lattice constant from density: 4 atoms per a³.
+	a := math.Cbrt(AtomsPerCell / Density)
+	l := a * float64(boxSize)
+	s := &System{
+		N:        n,
+		L:        l,
+		Pos:      make([]Vec3, 0, n),
+		Vel:      make([]Vec3, n),
+		Force:    make([]Vec3, n),
+		Timestep: DefaultTimestep,
+		cutoff:   Cutoff,
+		cutSq:    Cutoff * Cutoff,
+	}
+	// Shifted potential: U(r) − U(rc), removing the discontinuity so the
+	// conservation tests are clean. (LAMMPS lj/cut truncates without
+	// shifting; the dynamics differ only by a constant per pair.)
+	rc2 := 1 / s.cutSq
+	rc6 := rc2 * rc2 * rc2
+	s.eShift = 4 * (rc6*rc6 - rc6)
+
+	// fcc basis at each lattice point.
+	basis := []Vec3{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	for ix := 0; ix < boxSize; ix++ {
+		for iy := 0; iy < boxSize; iy++ {
+			for iz := 0; iz < boxSize; iz++ {
+				for _, b := range basis {
+					s.Pos = append(s.Pos, Vec3{
+						X: (float64(ix) + b.X) * a,
+						Y: (float64(iy) + b.Y) * a,
+						Z: (float64(iz) + b.Z) * a,
+					})
+				}
+			}
+		}
+	}
+
+	// Maxwell velocities at T*, zero total momentum, exact rescale to T*.
+	rng := rand.New(rand.NewSource(seed))
+	var sum Vec3
+	for i := range s.Vel {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		s.Vel[i] = v
+		sum = sum.Add(v)
+	}
+	mean := sum.Scale(1 / float64(n))
+	var ke float64
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Sub(mean)
+		ke += s.Vel[i].Dot(s.Vel[i])
+	}
+	// Kinetic temperature: T = Σ m v² / (3N) in reduced units (m = 1,
+	// ignoring the 3 constrained momentum DOF at these sizes LAMMPS uses
+	// 3N−3; we match LAMMPS).
+	dof := float64(3*n - 3)
+	tNow := ke / dof
+	scale := math.Sqrt(InitialTemp / tNow)
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(scale)
+	}
+
+	s.buildCells()
+	s.ComputeForces()
+	return s
+}
+
+// wrap maps a coordinate into [0, L).
+func (s *System) wrap(x float64) float64 {
+	x = math.Mod(x, s.L)
+	if x < 0 {
+		x += s.L
+	}
+	return x
+}
+
+// minImage returns the minimum-image displacement component.
+func (s *System) minImage(d float64) float64 {
+	if d > s.L/2 {
+		d -= s.L
+	} else if d < -s.L/2 {
+		d += s.L
+	}
+	return d
+}
+
+// buildCells sorts atoms into the linked-cell grid.
+func (s *System) buildCells() {
+	n := int(s.L / s.cutoff)
+	if n < 1 {
+		n = 1
+	}
+	s.nCells = n
+	s.cellLen = s.L / float64(n)
+	want := n * n * n
+	if cap(s.cells) < want {
+		s.cells = make([][]int, want)
+	}
+	s.cells = s.cells[:want]
+	for i := range s.cells {
+		s.cells[i] = s.cells[i][:0]
+	}
+	for i, p := range s.Pos {
+		s.cells[s.cellIndex(p)] = append(s.cells[s.cellIndex(p)], i)
+	}
+}
+
+// cellIndex returns the cell holding position p.
+func (s *System) cellIndex(p Vec3) int {
+	cx := int(s.wrap(p.X) / s.cellLen)
+	cy := int(s.wrap(p.Y) / s.cellLen)
+	cz := int(s.wrap(p.Z) / s.cellLen)
+	if cx >= s.nCells {
+		cx = s.nCells - 1
+	}
+	if cy >= s.nCells {
+		cy = s.nCells - 1
+	}
+	if cz >= s.nCells {
+		cz = s.nCells - 1
+	}
+	return (cx*s.nCells+cy)*s.nCells + cz
+}
+
+// pairForce returns the LJ force on atom i from the displacement d = ri−rj
+// (force magnitude over r along d) and the shifted pair energy.
+func (s *System) pairForce(d Vec3) (Vec3, float64, bool) {
+	r2 := d.Dot(d)
+	if r2 >= s.cutSq || r2 == 0 {
+		return Vec3{}, 0, false
+	}
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	// U = 4(r⁻¹² − r⁻⁶); F·r̂ = 24(2r⁻¹² − r⁻⁶)/r.
+	fOverR := 24 * (2*inv6*inv6 - inv6) * inv2
+	e := 4*(inv6*inv6-inv6) - s.eShift
+	return d.Scale(fOverR), e, true
+}
+
+// ComputeForces recomputes all forces and returns the potential energy.
+// This is the work the GPU force kernel performs in production.
+func (s *System) ComputeForces() float64 {
+	for i := range s.Force {
+		s.Force[i] = Vec3{}
+	}
+	if s.nCells < 3 {
+		// Cell offsets alias on grids under 3 cells per edge; fall back to
+		// the direct pairwise sum (tiny systems only).
+		return s.forcesDirect()
+	}
+	var pe float64
+	nc := s.nCells
+	for cx := 0; cx < nc; cx++ {
+		for cy := 0; cy < nc; cy++ {
+			for cz := 0; cz < nc; cz++ {
+				home := (cx*nc+cy)*nc + cz
+				for _, i := range s.cells[home] {
+					pi := s.Pos[i]
+					// Half the neighbor stencil (13 + home) with i<j in
+					// the home cell avoids double counting.
+					for _, off := range halfStencil {
+						ncx := (cx + off[0] + nc) % nc
+						ncy := (cy + off[1] + nc) % nc
+						ncz := (cz + off[2] + nc) % nc
+						other := (ncx*nc+ncy)*nc + ncz
+						for _, j := range s.cells[other] {
+							if other == home && j <= i {
+								continue
+							}
+							d := Vec3{
+								s.minImage(pi.X - s.Pos[j].X),
+								s.minImage(pi.Y - s.Pos[j].Y),
+								s.minImage(pi.Z - s.Pos[j].Z),
+							}
+							if f, e, ok := s.pairForce(d); ok {
+								s.Force[i] = s.Force[i].Add(f)
+								s.Force[j] = s.Force[j].Sub(f)
+								pe += e
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pe
+}
+
+// forcesDirect is the O(N²) minimum-image fallback used when the box is
+// too small for the cell grid.
+func (s *System) forcesDirect() float64 {
+	var pe float64
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			d := Vec3{
+				s.minImage(s.Pos[i].X - s.Pos[j].X),
+				s.minImage(s.Pos[i].Y - s.Pos[j].Y),
+				s.minImage(s.Pos[i].Z - s.Pos[j].Z),
+			}
+			if f, e, ok := s.pairForce(d); ok {
+				s.Force[i] = s.Force[i].Add(f)
+				s.Force[j] = s.Force[j].Sub(f)
+				pe += e
+			}
+		}
+	}
+	return pe
+}
+
+// halfStencil is the home cell plus 13 of the 26 neighbors: together with
+// the i<j rule in the home cell, each pair is visited exactly once. Valid
+// when the cell grid is at least 3 cells per edge; ComputeForces falls
+// back to the direct sum on smaller grids.
+var halfStencil = [][3]int{
+	{0, 0, 0},
+	{1, 0, 0}, {1, 1, 0}, {1, -1, 0}, {0, 1, 0},
+	{1, 0, 1}, {1, 1, 1}, {1, -1, 1}, {0, 1, 1},
+	{1, 0, -1}, {1, 1, -1}, {1, -1, -1}, {0, 1, -1},
+	{0, 0, 1},
+}
+
+// Step advances the system one velocity-Verlet step and returns the
+// potential energy after the step.
+func (s *System) Step() float64 {
+	dt := s.Timestep
+	half := dt / 2
+	for i := range s.Pos {
+		s.Vel[i] = s.Vel[i].Add(s.Force[i].Scale(half))
+		s.Pos[i] = s.Pos[i].Add(s.Vel[i].Scale(dt))
+		s.Pos[i] = Vec3{s.wrap(s.Pos[i].X), s.wrap(s.Pos[i].Y), s.wrap(s.Pos[i].Z)}
+	}
+	s.buildCells()
+	pe := s.ComputeForces()
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Add(s.Force[i].Scale(half))
+	}
+	s.StepsRun++
+	return pe
+}
+
+// Run advances n steps.
+func (s *System) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// KineticEnergy returns Σ ½mv².
+func (s *System) KineticEnergy() float64 {
+	var ke float64
+	for _, v := range s.Vel {
+		ke += v.Dot(v)
+	}
+	return ke / 2
+}
+
+// PotentialEnergy recomputes and returns the shifted LJ potential energy.
+func (s *System) PotentialEnergy() float64 {
+	f := append([]Vec3(nil), s.Force...)
+	pe := s.ComputeForces()
+	copy(s.Force, f)
+	return pe
+}
+
+// TotalEnergy returns kinetic + potential energy.
+func (s *System) TotalEnergy() float64 { return s.KineticEnergy() + s.PotentialEnergy() }
+
+// Temperature returns the instantaneous reduced temperature.
+func (s *System) Temperature() float64 {
+	return 2 * s.KineticEnergy() / float64(3*s.N-3)
+}
+
+// Momentum returns the total momentum vector.
+func (s *System) Momentum() Vec3 {
+	var m Vec3
+	for _, v := range s.Vel {
+		m = m.Add(v)
+	}
+	return m
+}
+
+// AverageNeighbors returns the mean number of atoms within the cutoff of
+// each atom — the neighbor count the performance cost model uses. At the
+// benchmark density it is ≈ ρ·4πr³/3 ≈ 55 (LAMMPS's half list holds ~27).
+func (s *System) AverageNeighbors() float64 {
+	pairs := 0
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			d := Vec3{
+				s.minImage(s.Pos[i].X - s.Pos[j].X),
+				s.minImage(s.Pos[i].Y - s.Pos[j].Y),
+				s.minImage(s.Pos[i].Z - s.Pos[j].Z),
+			}
+			if d.Dot(d) < s.cutSq {
+				pairs++
+			}
+		}
+	}
+	return 2 * float64(pairs) / float64(s.N)
+}
+
+// String summarizes the system.
+func (s *System) String() string {
+	return fmt.Sprintf("lammps.System{N: %d, L: %.3f, steps: %d, T: %.3f}",
+		s.N, s.L, s.StepsRun, s.Temperature())
+}

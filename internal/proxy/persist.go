@@ -1,0 +1,31 @@
+package proxy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteSweepJSON serializes sweep points so an expensive calibration can
+// be performed once and reused across profiling sessions (the workflow a
+// prospective CDI adopter would follow: sweep on their hardware overnight,
+// then profile workloads against the saved surface).
+func WriteSweepJSON(w io.Writer, pts []SweepPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pts)
+}
+
+// ReadSweepJSON deserializes sweep points written by WriteSweepJSON.
+func ReadSweepJSON(r io.Reader) ([]SweepPoint, error) {
+	var pts []SweepPoint
+	if err := json.NewDecoder(r).Decode(&pts); err != nil {
+		return nil, fmt.Errorf("proxy: decoding sweep: %w", err)
+	}
+	for i, pt := range pts {
+		if pt.MatrixSize <= 0 || pt.Threads <= 0 || pt.Slack <= 0 {
+			return nil, fmt.Errorf("proxy: sweep point %d invalid: %+v", i, pt)
+		}
+	}
+	return pts, nil
+}

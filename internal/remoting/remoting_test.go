@@ -1,0 +1,150 @@
+package remoting
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+func testSpec() gpu.Spec {
+	return gpu.Spec{
+		Name:            "test-gpu",
+		MemoryBytes:     1 << 30,
+		MemoryBandwidth: 1e12,
+		PeakFLOPS:       1e12,
+		H2DBandwidth:    1e9,
+		D2HBandwidth:    1e9,
+		DMAEngines:      2,
+	}
+}
+
+func TestEveryCallCrossesTheNetworkTwice(t *testing.T) {
+	env := sim.NewEnv()
+	t.Cleanup(env.Close)
+	dev, _ := gpu.NewDevice(env, testSpec())
+	path := fabric.PathForSlack(50 * sim.Microsecond)
+	r := New(dev, Config{Path: path, ServerOverhead: -1})
+	env.Spawn("host", func(p *sim.Proc) {
+		ptr, err := r.Malloc(p, 1000)
+		if err != nil {
+			t.Errorf("Malloc: %v", err)
+		}
+		r.Free(p, ptr)
+	})
+	env.Run()
+	if r.Calls() != 2 {
+		t.Fatalf("Calls = %d, want 2", r.Calls())
+	}
+	// Two calls × two crossings × 50µs.
+	want := 4 * 50 * sim.Microsecond
+	if math.Abs(float64(r.NetworkTime()-want)) > 1e-12 {
+		t.Errorf("NetworkTime = %v, want %v", r.NetworkTime(), want)
+	}
+	if got := r.MeanCallDelay(); math.Abs(float64(got-100*sim.Microsecond)) > 1e-12 {
+		t.Errorf("MeanCallDelay = %v, want 100µs (two crossings)", got)
+	}
+}
+
+func TestPayloadRidesTheWire(t *testing.T) {
+	env := sim.NewEnv()
+	t.Cleanup(env.Close)
+	dev, _ := gpu.NewDevice(env, testSpec())
+	// 1 GB/s path: a 1 MB payload adds ~1ms per crossing on top of latency.
+	path := fabric.Path{Hops: []fabric.Hop{{Name: "net", Latency: 10 * sim.Microsecond, Bandwidth: 1e9}}}
+	r := New(dev, Config{Path: path, ServerOverhead: -1})
+	var h2d, d2h sim.Duration
+	env.Spawn("host", func(p *sim.Proc) {
+		ptr, _ := r.Malloc(p, 1_000_000)
+		start := p.Now()
+		r.MemcpyH2D(p, ptr, 1_000_000)
+		h2d = p.Now().Sub(start)
+		start = p.Now()
+		r.MemcpyD2H(p, ptr, 1_000_000)
+		d2h = p.Now().Sub(start)
+	})
+	env.Run()
+	// H2D: request carries 1MB (1ms + 10µs) + device copy (1ms) +
+	// response (10µs) ≈ 2.02ms. Same arithmetic for D2H.
+	for name, got := range map[string]sim.Duration{"h2d": h2d, "d2h": d2h} {
+		if got < 2*sim.Millisecond || got > 2.2*sim.Millisecond {
+			t.Errorf("%s remote copy = %v, want ≈ 2.02ms", name, got)
+		}
+	}
+}
+
+func TestNoiseMakesDelaysVary(t *testing.T) {
+	cfg := Config{
+		Path:          fabric.PathForSlack(100 * sim.Microsecond),
+		NoiseFraction: 0.3,
+		Seed:          11,
+	}
+	res, err := Compare(512, 30, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemotedStddev <= 0 {
+		t.Error("no variance despite network noise")
+	}
+	// Without noise the iteration durations collapse to a point (matmul
+	// warm-up aside) — the "granular control" the paper wants.
+	clean, err := Compare(512, 30, Config{Path: cfg.Path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.RemotedStddev >= res.RemotedStddev {
+		t.Errorf("noiseless stddev %v >= noisy %v", clean.RemotedStddev, res.RemotedStddev)
+	}
+}
+
+func TestMeanCallDelayDriftsFromNominal(t *testing.T) {
+	// The paper's complaint: the delay a remoting layer induces is not
+	// the nominal latency — serialization adds a payload-dependent term.
+	cfg := Config{Path: fabric.Preset(fabric.RowScale, 0)}
+	res, err := Compare(2048, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCallDelay <= res.NominalSlack {
+		t.Errorf("mean call delay %v not above nominal slack %v (payload serialization)",
+			res.MeanCallDelay, res.NominalSlack)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	if _, err := Compare(0, 10, Config{}); err == nil {
+		t.Error("zero matrix accepted")
+	}
+	if _, err := Compare(512, 0, Config{}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestInvalidNoisePanics(t *testing.T) {
+	env := sim.NewEnv()
+	t.Cleanup(env.Close)
+	dev, _ := gpu.NewDevice(env, testSpec())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(dev, Config{NoiseFraction: 1.5})
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	cfg := Config{Path: fabric.PathForSlack(10 * sim.Microsecond), NoiseFraction: 0.2, Seed: 3}
+	a, err := Compare(512, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compare(512, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RemotedMean != b.RemotedMean || a.RemotedStddev != b.RemotedStddev {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// event is a scheduled wake-up for a parked process (or a start for a
+// freshly spawned one).
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-break for simultaneous events
+	proc *Proc
+	// cancelled events stay in the heap but are skipped when popped; this is
+	// how racing wake-ups (timeout vs signal) resolve without heap surgery.
+	cancelled bool
+	// kind distinguishes why the process wakes, so racing wake-ups can
+	// report which one won.
+	kind wakeKind
+}
+
+type wakeKind uint8
+
+const (
+	wakeTimer wakeKind = iota
+	wakeSignal
+	wakeStart
+)
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock plus the event queue and
+// process bookkeeping that drive it. The zero value is not usable; create
+// environments with NewEnv.
+//
+// Env is not safe for concurrent use from multiple goroutines the caller
+// owns; the engine's determinism comes precisely from running exactly one
+// process at a time.
+type Env struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	park   chan *Proc // the running process announces it has yielded
+	nprocs int        // live (started, not finished) processes
+	closed bool
+
+	// parked tracks every process currently blocked on a Signal (not a
+	// timer), so deadlocks can be reported and Close can unwind goroutines.
+	parked map[*Proc]struct{}
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		park:   make(chan *Proc),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// schedule enqueues a wake-up event for p and registers it with the
+// process, so that delivering any one of a process's outstanding wake-ups
+// cancels the others.
+func (e *Env) schedule(at Time, p *Proc, kind wakeKind) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, proc: p, kind: kind}
+	heap.Push(&e.queue, ev)
+	p.waits = append(p.waits, ev)
+	return ev
+}
+
+// deliver hands control to the process woken by ev and waits until it
+// yields again. All other outstanding wake-ups for that process are
+// cancelled first: a process wakes exactly once per park.
+func (e *Env) deliver(ev *event) {
+	p := ev.proc
+	for _, o := range p.waits {
+		if o != ev {
+			o.cancelled = true
+		}
+	}
+	p.waits = p.waits[:0]
+	delete(e.parked, p)
+	p.resume <- ev.kind
+	<-e.park
+}
+
+// Spawn creates a process running fn and schedules it to start at the
+// current virtual time. fn receives the process handle, through which all
+// blocking primitives are reached. Spawn may be called before Run or from
+// inside a running process.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(0, name, fn)
+}
+
+// SpawnAt is Spawn with a start delay.
+func (e *Env) SpawnAt(delay Duration, name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Spawn on closed Env")
+	}
+	if delay < 0 {
+		panic("sim: negative spawn delay")
+	}
+	p := &Proc{env: e, name: name, resume: make(chan wakeKind)}
+	e.nprocs++
+	go func() {
+		defer func() {
+			r := recover()
+			if r != nil && r != errAborted {
+				// Re-panic application errors on the scheduler's stack
+				// would be nicer, but surfacing them here keeps the trace.
+				panic(r)
+			}
+			p.finished = true
+			e.nprocs--
+			e.park <- p
+		}()
+		<-p.resume
+		if p.aborted {
+			return
+		}
+		fn(p)
+	}()
+	e.schedule(e.now.Add(delay), p, wakeStart)
+	return p
+}
+
+// Run drives the simulation until no runnable events remain, then returns
+// the final virtual time. Processes still blocked on Signals at that point
+// constitute a deadlock; query them with Blocked.
+func (e *Env) Run() Time {
+	return e.RunUntil(Time(math.Inf(1)))
+}
+
+// RunUntil drives the simulation until the event queue is exhausted or the
+// next event lies beyond horizon. The clock never advances past horizon.
+func (e *Env) RunUntil(horizon Time) Time {
+	if e.closed {
+		panic("sim: RunUntil on closed Env")
+	}
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > horizon {
+			// Put it back for a later RunUntil call.
+			heap.Push(&e.queue, ev)
+			if e.now < horizon {
+				e.now = horizon
+			}
+			return e.now
+		}
+		e.now = ev.at
+		e.deliver(ev)
+	}
+	return e.now
+}
+
+// Step runs a single event and reports whether one was available.
+func (e *Env) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.deliver(ev)
+		return true
+	}
+	return false
+}
+
+// Blocked returns the names of processes parked on Signals with no pending
+// wake-up — the processes that would deadlock if Run returned now. The
+// result is sorted for stable test output.
+func (e *Env) Blocked() []string {
+	var names []string
+	for p := range e.parked {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Live returns the number of processes that have started but not finished.
+func (e *Env) Live() int { return e.nprocs }
+
+// Close unwinds every parked process goroutine and marks the environment
+// unusable. It must not be called from inside a process. Close is safe to
+// call after Run; environments that ran to completion with no blocked
+// processes have nothing to unwind.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	// Unwind processes parked on signals.
+	for p := range e.parked {
+		for _, o := range p.waits {
+			o.cancelled = true
+		}
+		p.waits = nil
+		p.aborted = true
+		p.resume <- wakeSignal
+		<-e.park
+	}
+	e.parked = map[*Proc]struct{}{}
+	// Unwind processes parked on timers (or not yet started).
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		ev.proc.aborted = true
+		e.deliver(ev)
+	}
+}
+
+// String summarizes the environment state for debugging.
+func (e *Env) String() string {
+	return fmt.Sprintf("sim.Env{now: %v, queued: %d, live: %d, blocked: %d}",
+		e.now, len(e.queue), e.nprocs, len(e.parked))
+}

@@ -1,0 +1,569 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	env := NewEnv()
+	if env.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", env.Now())
+	}
+	if got := env.Run(); got != 0 {
+		t.Fatalf("Run() on empty env = %v, want 0", got)
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := NewEnv()
+	var woke Time
+	env.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		woke = p.Now()
+	})
+	end := env.Run()
+	if want := Time(5e-3); woke != want {
+		t.Errorf("woke at %v, want %v", woke, want)
+	}
+	if end != woke {
+		t.Errorf("Run() = %v, want %v", end, woke)
+	}
+}
+
+func TestSleepNegativeTreatedAsZero(t *testing.T) {
+	env := NewEnv()
+	env.Spawn("p", func(p *Proc) {
+		p.Sleep(-1)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	env.Run()
+}
+
+func TestEventOrderingFIFOAtSameInstant(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		env.Spawn(name, func(p *Proc) {
+			p.Sleep(1 * Microsecond)
+			order = append(order, name)
+		})
+	}
+	env.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventsDeliveredInTimeOrder(t *testing.T) {
+	env := NewEnv()
+	var order []int
+	delays := []Duration{30 * Microsecond, 10 * Microsecond, 20 * Microsecond}
+	for i, d := range delays {
+		i, d := i, d
+		env.Spawn("p", func(p *Proc) {
+			p.Sleep(d)
+			order = append(order, i)
+		})
+	}
+	env.Run()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSpawnAtDelaysStart(t *testing.T) {
+	env := NewEnv()
+	var started Time
+	env.SpawnAt(7*Millisecond, "late", func(p *Proc) {
+		started = p.Now()
+	})
+	env.Run()
+	if want := Time(7e-3); started != want {
+		t.Errorf("started at %v, want %v", started, want)
+	}
+}
+
+func TestNestedSpawnFromProcess(t *testing.T) {
+	env := NewEnv()
+	var childTime Time
+	env.Spawn("parent", func(p *Proc) {
+		p.Sleep(1 * Millisecond)
+		p.Env().Spawn("child", func(c *Proc) {
+			c.Sleep(2 * Millisecond)
+			childTime = c.Now()
+		})
+	})
+	env.Run()
+	if want := Time(3e-3); childTime != want {
+		t.Errorf("child finished at %v, want %v", childTime, want)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	env := NewEnv()
+	var reached []Duration
+	env.Spawn("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(1 * Second)
+			reached = append(reached, Duration(p.Now()))
+		}
+	})
+	got := env.RunUntil(Time(3.5))
+	if got != Time(3.5) {
+		t.Fatalf("RunUntil = %v, want 3.5", got)
+	}
+	if len(reached) != 3 {
+		t.Fatalf("process ran %d steps before horizon, want 3", len(reached))
+	}
+	// Resume to completion.
+	end := env.Run()
+	if end != Time(10) || len(reached) != 10 {
+		t.Fatalf("after resume: end=%v steps=%d, want 10s and 10", end, len(reached))
+	}
+}
+
+func TestStepSingleEvent(t *testing.T) {
+	env := NewEnv()
+	n := 0
+	env.Spawn("p", func(p *Proc) {
+		p.Sleep(1 * Microsecond)
+		n++
+		p.Sleep(1 * Microsecond)
+		n++
+	})
+	if !env.Step() { // start event
+		t.Fatal("Step() = false on non-empty queue")
+	}
+	if n != 0 {
+		t.Fatalf("n = %d after start, want 0", n)
+	}
+	env.Step()
+	if n != 1 {
+		t.Fatalf("n = %d after one sleep, want 1", n)
+	}
+	env.Run()
+	if n != 2 {
+		t.Fatalf("n = %d at end, want 2", n)
+	}
+	if env.Step() {
+		t.Fatal("Step() = true on drained queue")
+	}
+}
+
+func TestSignalFireReleasesAllWaitersInOrder(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	var order []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		env.Spawn(name, func(p *Proc) {
+			sig.Wait(p)
+			order = append(order, name)
+		})
+	}
+	env.Spawn("firer", func(p *Proc) {
+		p.Sleep(1 * Millisecond)
+		if sig.Waiters() != 3 {
+			t.Errorf("Waiters() = %d, want 3", sig.Waiters())
+		}
+		sig.Fire()
+	})
+	env.Run()
+	if len(order) != 3 || order[0] != "w1" || order[1] != "w2" || order[2] != "w3" {
+		t.Fatalf("wake order = %v", order)
+	}
+	if sig.Waiters() != 0 {
+		t.Errorf("Waiters() = %d after Fire, want 0", sig.Waiters())
+	}
+}
+
+func TestSignalFireOne(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	released := 0
+	for i := 0; i < 2; i++ {
+		env.Spawn("w", func(p *Proc) {
+			sig.Wait(p)
+			released++
+		})
+	}
+	env.Spawn("firer", func(p *Proc) {
+		p.Sleep(1 * Microsecond)
+		if !sig.FireOne() {
+			t.Error("FireOne() = false with waiters present")
+		}
+	})
+	env.Run()
+	if released != 1 {
+		t.Fatalf("released = %d, want 1", released)
+	}
+	if got := env.Blocked(); len(got) != 1 {
+		t.Fatalf("Blocked() = %v, want one blocked process", got)
+	}
+	env.Close()
+}
+
+func TestSignalFireOneEmpty(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	if sig.FireOne() {
+		t.Fatal("FireOne() = true with no waiters")
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	var err error
+	var at Time
+	env.Spawn("p", func(p *Proc) {
+		err = sig.WaitTimeout(p, 2*Millisecond)
+		at = p.Now()
+	})
+	env.Run()
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if at != Time(2e-3) {
+		t.Fatalf("woke at %v, want 2ms", at)
+	}
+	if sig.Waiters() != 0 {
+		t.Fatalf("stale waiter left on signal after timeout")
+	}
+}
+
+func TestWaitTimeoutSignalWins(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	var err error
+	var at Time
+	env.Spawn("p", func(p *Proc) {
+		err = sig.WaitTimeout(p, 10*Millisecond)
+		at = p.Now()
+	})
+	env.Spawn("firer", func(p *Proc) {
+		p.Sleep(1 * Millisecond)
+		sig.Fire()
+	})
+	env.Run()
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if at != Time(1e-3) {
+		t.Fatalf("woke at %v, want 1ms", at)
+	}
+}
+
+// A timer and a Fire landing at the same instant must wake the process
+// exactly once and leave no stale wake-up that could corrupt a later park.
+func TestWaitTimeoutSimultaneousFireAndTimer(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	wakes := 0
+	var second Time
+	env.Spawn("p", func(p *Proc) {
+		_ = sig.WaitTimeout(p, 1*Millisecond)
+		wakes++
+		p.Sleep(5 * Millisecond) // a stale wake-up would cut this short
+		second = p.Now()
+	})
+	env.Spawn("firer", func(p *Proc) {
+		p.Sleep(1 * Millisecond) // same instant as the timeout
+		sig.Fire()
+	})
+	env.Run()
+	if wakes != 1 {
+		t.Fatalf("process woke %d times, want 1", wakes)
+	}
+	if second != Time(6e-3) {
+		t.Fatalf("second sleep ended at %v, want 6ms (stale wake-up leaked)", second)
+	}
+}
+
+func TestResourceSerializesExclusiveUse(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var spans [][2]Time
+	for i := 0; i < 3; i++ {
+		env.Spawn("worker", func(p *Proc) {
+			res.Acquire(p)
+			start := p.Now()
+			p.Sleep(1 * Millisecond)
+			spans = append(spans, [2]Time{start, p.Now()})
+			res.Release()
+		})
+	}
+	end := env.Run()
+	if end != Time(3e-3) {
+		t.Fatalf("end = %v, want 3ms (serialized)", end)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	for i := 1; i < len(spans); i++ {
+		if spans[i][0] < spans[i-1][1] {
+			t.Fatalf("overlapping exclusive spans: %v", spans)
+		}
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 2)
+	for i := 0; i < 4; i++ {
+		env.Spawn("worker", func(p *Proc) {
+			res.Acquire(p)
+			p.Sleep(1 * Millisecond)
+			res.Release()
+		})
+	}
+	if end := env.Run(); end != Time(2e-3) {
+		t.Fatalf("end = %v, want 2ms (two at a time)", end)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	if !res.TryAcquire() {
+		t.Fatal("TryAcquire on free resource = false")
+	}
+	if res.TryAcquire() {
+		t.Fatal("TryAcquire on full resource = true")
+	}
+	if res.InUse() != 1 || res.Capacity() != 1 {
+		t.Fatalf("InUse=%d Capacity=%d", res.InUse(), res.Capacity())
+	}
+	res.Release()
+	if res.InUse() != 0 {
+		t.Fatalf("InUse after release = %d", res.InUse())
+	}
+}
+
+func TestResourceReleasePanicsWhenFree(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of free resource did not panic")
+		}
+	}()
+	res.Release()
+}
+
+func TestNewResourceRejectsNonPositiveCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewResource(env, 0) did not panic")
+		}
+	}()
+	NewResource(NewEnv(), 0)
+}
+
+func TestWaitGroup(t *testing.T) {
+	env := NewEnv()
+	wg := NewWaitGroup(env)
+	var doneAt Time
+	wg.Add(3)
+	for i := 1; i <= 3; i++ {
+		d := Duration(i) * Millisecond
+		env.Spawn("worker", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	env.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	env.Run()
+	if doneAt != Time(3e-3) {
+		t.Fatalf("waiter released at %v, want 3ms", doneAt)
+	}
+	if wg.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", wg.Count())
+	}
+}
+
+func TestWaitGroupWaitOnZeroReturnsImmediately(t *testing.T) {
+	env := NewEnv()
+	wg := NewWaitGroup(env)
+	ran := false
+	env.Spawn("p", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	env.Run()
+	if !ran {
+		t.Fatal("Wait on zero WaitGroup blocked")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	env := NewEnv()
+	wg := NewWaitGroup(env)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative WaitGroup did not panic")
+		}
+	}()
+	wg.Add(-1)
+}
+
+func TestBlockedReportsDeadlockedProcesses(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	env.Spawn("stuck-b", func(p *Proc) { sig.Wait(p) })
+	env.Spawn("stuck-a", func(p *Proc) { sig.Wait(p) })
+	env.Run()
+	got := env.Blocked()
+	if len(got) != 2 || got[0] != "stuck-a" || got[1] != "stuck-b" {
+		t.Fatalf("Blocked() = %v", got)
+	}
+	env.Close()
+	if env.Live() != 0 {
+		t.Fatalf("Live() after Close = %d, want 0", env.Live())
+	}
+}
+
+func TestCloseUnwindsTimerParkedProcesses(t *testing.T) {
+	env := NewEnv()
+	env.Spawn("long", func(p *Proc) {
+		p.Sleep(1 * Minute)
+		t.Error("process body continued after Close")
+	})
+	env.RunUntil(Time(0)) // deliver the start event only
+	env.Close()
+	if env.Live() != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", env.Live())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []Time {
+		env := NewEnv()
+		defer env.Close()
+		rng := rand.New(rand.NewSource(seed))
+		res := NewResource(env, 2)
+		var finishes []Time
+		for i := 0; i < 50; i++ {
+			d := Duration(rng.Intn(1000)+1) * Microsecond
+			start := Duration(rng.Intn(1000)) * Microsecond
+			env.SpawnAt(start, "w", func(p *Proc) {
+				res.Acquire(p)
+				p.Sleep(d)
+				res.Release()
+				finishes = append(finishes, p.Now())
+			})
+		}
+		env.Run()
+		return finishes
+	}
+	a, b := run(42), run(42)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("runs finished %d/%d processes, want 50", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{5 * Nanosecond, "5ns"},
+		{12 * Microsecond, "12µs"},
+		{3 * Millisecond, "3ms"},
+		{2 * Second, "2s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%g).String() = %q, want %q", float64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(1.5)
+	if got := a.Add(500 * Millisecond); got != Time(2.0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Time(2.0).Sub(a); got != 500*Millisecond {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+// Property: for any set of sleep durations, Run ends at the maximum, and
+// every process observes exactly its own duration.
+func TestPropertySleepDurationsIndependent(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		env := NewEnv()
+		defer env.Close()
+		var maxD Duration
+		ok := true
+		for _, r := range raw {
+			d := Duration(r) * Microsecond
+			if d > maxD {
+				maxD = d
+			}
+			env.Spawn("p", func(p *Proc) {
+				p.Sleep(d)
+				if p.Now() != Time(0).Add(d) {
+					ok = false
+				}
+			})
+		}
+		end := env.Run()
+		return ok && end == Time(0).Add(maxD)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a capacity-c resource with n unit-time jobs completes in
+// ceil(n/c) time units.
+func TestPropertyResourceMakespan(t *testing.T) {
+	f := func(n, c uint8) bool {
+		jobs := int(n%50) + 1
+		cap := int(c%8) + 1
+		env := NewEnv()
+		defer env.Close()
+		res := NewResource(env, cap)
+		for i := 0; i < jobs; i++ {
+			env.Spawn("w", func(p *Proc) {
+				res.Acquire(p)
+				p.Sleep(1 * Millisecond)
+				res.Release()
+			})
+		}
+		end := env.Run()
+		want := Time(float64((jobs+cap-1)/cap) * 1e-3)
+		diff := float64(end - want)
+		return diff < 1e-12 && diff > -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine drives "processes" — ordinary Go functions running in their own
+// goroutines — through virtual time. At most one process executes at any
+// instant: the scheduler hands control to a process, and the process hands
+// control back when it blocks on a virtual-time primitive (Sleep, a Signal,
+// a Resource, ...). This SimPy-style handoff keeps simulations fully
+// deterministic regardless of GOMAXPROCS while letting model code read as
+// straight-line imperative Go.
+//
+// All other substrates in this repository (the GPU device model, the CUDA
+// API layer, the MPI runtime, the workload mini-apps) are built on this
+// package.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an absolute virtual timestamp in seconds since simulation start.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+//
+// Durations are plain float64 seconds rather than time.Duration because the
+// cost models routinely produce sub-nanosecond quantities (for example a
+// per-element DMA cost) that would truncate to zero in integer nanoseconds.
+type Duration float64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1e-9
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+)
+
+// Micros returns d expressed in microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e-6 }
+
+// Millis returns d expressed in milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e-3 }
+
+// Seconds returns d expressed in seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// String formats the duration with an SI-scaled unit, e.g. "12.3µs".
+func (d Duration) String() string {
+	abs := math.Abs(float64(d))
+	switch {
+	case abs == 0:
+		return "0s"
+	case abs < 1e-6:
+		return fmt.Sprintf("%.3gns", float64(d)/1e-9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.3gµs", float64(d)/1e-6)
+	case abs < 1:
+		return fmt.Sprintf("%.3gms", float64(d)/1e-3)
+	default:
+		return fmt.Sprintf("%.4gs", float64(d))
+	}
+}
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns the time t + d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// String formats the timestamp in seconds.
+func (t Time) String() string { return fmt.Sprintf("t=%.9fs", float64(t)) }

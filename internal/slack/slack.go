@@ -1,0 +1,160 @@
+// Package slack implements the paper's slack-injection method: an
+// artificial delay added to every CUDA API call that requires host↔device
+// communication, emulating the network latency a row-scale CDI deployment
+// introduces between CPUs and disaggregated GPUs.
+//
+// The paper evaluates and rejects two injection mechanisms — hand-editing
+// application sources (laborious, error-prone) and LD_PRELOAD shims (fail
+// on statically linked binaries) — before settling on controlled injection
+// inside a proxy application. This package provides the equivalent seam for
+// the simulated stack: an Interposer registered on a cuda.Context delays
+// the configured call classes, with optional jitter and an optional
+// per-symbol filter that mimics the LD_PRELOAD comparison experiment.
+package slack
+
+import (
+	"math/rand"
+
+	"repro/internal/cuda"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// Injector delays CUDA API calls. It implements cuda.Interposer; register
+// it with Context.Interpose. The zero value injects nothing.
+type Injector struct {
+	amount sim.Duration
+	// jitterFrac, when positive, draws each delay uniformly from
+	// amount × [1-jitterFrac, 1+jitterFrac].
+	jitterFrac float64
+	rng        *rand.Rand
+
+	// classes restricts injection to specific call classes; nil selects
+	// every link-crossing class (the paper's method).
+	classes map[cuda.CallClass]bool
+	// symbols, when non-nil, restricts injection to exact API symbol names
+	// (the LD_PRELOAD-style filter; incomplete coverage is precisely the
+	// weakness the paper notes for that approach).
+	symbols map[string]bool
+
+	delayedCalls  int64
+	totalInjected sim.Duration
+}
+
+// Option configures an Injector.
+type Option func(*Injector)
+
+// WithJitter makes each injected delay uniform in amount×[1-f, 1+f],
+// seeded deterministically. f must be in [0, 1).
+func WithJitter(f float64, seed int64) Option {
+	if f < 0 || f >= 1 {
+		panic("slack: jitter fraction must be in [0,1)")
+	}
+	return func(in *Injector) {
+		in.jitterFrac = f
+		in.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// WithClasses restricts injection to the listed call classes.
+func WithClasses(classes ...cuda.CallClass) Option {
+	return func(in *Injector) {
+		in.classes = make(map[cuda.CallClass]bool, len(classes))
+		for _, c := range classes {
+			in.classes[c] = true
+		}
+	}
+}
+
+// WithSymbols restricts injection to calls whose API name is listed,
+// emulating an LD_PRELOAD shim that wraps only those symbols.
+func WithSymbols(names ...string) Option {
+	return func(in *Injector) {
+		in.symbols = make(map[string]bool, len(names))
+		for _, n := range names {
+			in.symbols[n] = true
+		}
+	}
+}
+
+// New returns an injector adding amount of slack after every link-crossing
+// CUDA call, the paper's §III-C configuration.
+func New(amount sim.Duration, opts ...Option) *Injector {
+	if amount < 0 {
+		panic("slack: negative slack amount")
+	}
+	in := &Injector{amount: amount}
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// FromPath returns an injector whose slack equals the one-way latency of a
+// fabric path — slack as a deployment would actually experience it.
+func FromPath(p fabric.Path, opts ...Option) *Injector {
+	return New(fabric.SlackForPath(p), opts...)
+}
+
+// Amount returns the configured per-call slack.
+func (in *Injector) Amount() sim.Duration { return in.amount }
+
+// SetAmount changes the per-call slack; setting 0 disables injection
+// (baseline runs reuse the same wiring).
+func (in *Injector) SetAmount(d sim.Duration) {
+	if d < 0 {
+		panic("slack: negative slack amount")
+	}
+	in.amount = d
+}
+
+// DelayedCalls returns how many calls have been delayed — the
+// num_CUDAcalls term of Equation 1.
+func (in *Injector) DelayedCalls() int64 { return in.delayedCalls }
+
+// TotalInjected returns the cumulative injected delay — the
+// num_CUDAcalls × Slack_call term of Equation 1 (they differ from
+// DelayedCalls×Amount only under jitter).
+func (in *Injector) TotalInjected() sim.Duration { return in.totalInjected }
+
+// Reset zeroes the call counters (between baseline and slack runs).
+func (in *Injector) Reset() {
+	in.delayedCalls = 0
+	in.totalInjected = 0
+}
+
+// applies reports whether this call should be delayed.
+func (in *Injector) applies(info cuda.CallInfo) bool {
+	if in.amount <= 0 {
+		return false
+	}
+	if in.symbols != nil && !in.symbols[info.Name] {
+		return false
+	}
+	if in.classes != nil {
+		return in.classes[info.Class]
+	}
+	return info.Class.CrossesLink()
+}
+
+// Before implements cuda.Interposer; slack is injected after calls (the
+// paper inserts the sleep "after every CUDA API call"), so Before is a
+// no-op.
+func (in *Injector) Before(p *sim.Proc, info cuda.CallInfo) {}
+
+// After injects the delay.
+func (in *Injector) After(p *sim.Proc, info cuda.CallInfo) {
+	if !in.applies(info) {
+		return
+	}
+	d := in.amount
+	if in.jitterFrac > 0 {
+		u := 1 + in.jitterFrac*(2*in.rng.Float64()-1)
+		d = sim.Duration(float64(d) * u)
+	}
+	p.Sleep(d)
+	in.delayedCalls++
+	in.totalInjected += d
+}
+
+var _ cuda.Interposer = (*Injector)(nil)

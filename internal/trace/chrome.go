@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome Trace Event Format ("X" complete
+// events), the JSON array form loadable by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recording in Chrome Trace Event Format so
+// it can be inspected in chrome://tracing or Perfetto — the visual
+// counterpart of the NSys timelines the paper reads. Kernels and copies
+// appear as complete events on per-stream tracks; API calls on a host
+// track (pid 0 = host, pid 1 = device).
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	toUs := func(x float64) float64 { return x * 1e6 }
+
+	for _, c := range t.Calls {
+		events = append(events, chromeEvent{
+			Name: c.Name,
+			Cat:  "api," + c.Class.String(),
+			Ph:   "X",
+			Ts:   toUs(float64(c.Begin)),
+			Dur:  toUs(float64(c.End - c.Begin)),
+			Pid:  0,
+			Tid:  0,
+			Args: map[string]any{"bytes": c.Bytes},
+		})
+	}
+	for _, k := range t.Kernels {
+		events = append(events, chromeEvent{
+			Name: k.Name,
+			Cat:  "kernel",
+			Ph:   "X",
+			Ts:   toUs(float64(k.Start)),
+			Dur:  toUs(float64(k.End - k.Start)),
+			Pid:  1,
+			Tid:  k.Stream,
+			Args: map[string]any{
+				"warmup_us":  toUs(float64(k.Warmup)),
+				"idlegap_us": toUs(float64(k.IdleGap)),
+			},
+		})
+	}
+	for _, c := range t.Copies {
+		events = append(events, chromeEvent{
+			Name: "memcpy " + c.Dir.String(),
+			Cat:  "memcpy",
+			Ph:   "X",
+			Ts:   toUs(float64(c.Start)),
+			Dur:  toUs(float64(c.End - c.Start)),
+			Pid:  1,
+			Tid:  1000 + c.Stream, // copy tracks below the kernel tracks
+			Args: map[string]any{"bytes": c.Bytes},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("trace: encoding chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Span is a half-open busy interval on a device engine.
+type Span struct {
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the span length.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// mergeSpans coalesces overlapping or touching spans (input need not be
+// sorted).
+func mergeSpans(spans []Span) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	s := append([]Span(nil), spans...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	out := s[:1]
+	for _, sp := range s[1:] {
+		last := &out[len(out)-1]
+		if sp.Start <= last.End {
+			if sp.End > last.End {
+				last.End = sp.End
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// ComputeSpans returns the merged busy intervals of the compute engine.
+func (t *Trace) ComputeSpans() []Span {
+	spans := make([]Span, 0, len(t.Kernels))
+	for _, k := range t.Kernels {
+		spans = append(spans, Span{Start: k.Start, End: k.End})
+	}
+	return mergeSpans(spans)
+}
+
+// ComputeGaps returns the idle intervals of the compute engine between the
+// recording bounds — the gaps whose growth under slack is precisely the
+// GPU starvation the paper studies.
+func (t *Trace) ComputeGaps() []Span {
+	busy := t.ComputeSpans()
+	var gaps []Span
+	cursor := t.Started
+	for _, b := range busy {
+		if b.Start > cursor {
+			gaps = append(gaps, Span{Start: cursor, End: b.Start})
+		}
+		if b.End > cursor {
+			cursor = b.End
+		}
+	}
+	if t.Ended > cursor {
+		gaps = append(gaps, Span{Start: cursor, End: t.Ended})
+	}
+	return gaps
+}
+
+// GapDurations returns the idle-gap lengths in seconds, ready for the
+// stats package.
+func (t *Trace) GapDurations() []float64 {
+	gaps := t.ComputeGaps()
+	out := make([]float64, len(gaps))
+	for i, g := range gaps {
+		out[i] = float64(g.Duration())
+	}
+	return out
+}
+
+// ComputeUtilization returns busy time over the recorded runtime for the
+// compute engine (exact: overlapping kernels cannot exist, and spans are
+// merged anyway).
+func (t *Trace) ComputeUtilization() float64 {
+	rt := t.Runtime()
+	if rt <= 0 {
+		return 0
+	}
+	var busy sim.Duration
+	for _, s := range t.ComputeSpans() {
+		busy += s.Duration()
+	}
+	return float64(busy) / float64(rt)
+}
+
+// WarmupTotal sums the starvation penalty recorded across all kernels —
+// the device-side cost the slack model predicts.
+func (t *Trace) WarmupTotal() sim.Duration {
+	var total sim.Duration
+	for _, k := range t.Kernels {
+		total += k.Warmup
+	}
+	return total
+}
+
+// LongestGap returns the largest compute idle gap (zero Span when the
+// trace has no gaps).
+func (t *Trace) LongestGap() Span {
+	var best Span
+	for _, g := range t.ComputeGaps() {
+		if g.Duration() > best.Duration() {
+			best = g
+		}
+	}
+	return best
+}
