@@ -1,0 +1,71 @@
+// Command cdivet runs the determinism-invariant static-analysis suite
+// (internal/analysis) over the repository.
+//
+//	cdivet ./...                  # whole module (the CI gate)
+//	cdivet ./internal/sim         # one package
+//	cdivet -rules maporder ./...  # a subset of rules
+//	cdivet -json ./... > out.json # machine-readable findings
+//	cdivet -list                  # describe every rule
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error. Suppress an
+// intentional violation in source with a justified directive on, or
+// directly above, the line:
+//
+//	//cdivet:allow <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	list := flag.Bool("list", false, "list rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cfg := analysis.Config{Patterns: flag.Args()}
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = []string{"./..."}
+	}
+	if *rules != "" {
+		as, err := analysis.ByName(*rules)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Analyzers = as
+	}
+
+	findings, err := analysis.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else if err := analysis.WriteText(os.Stdout, findings); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "cdivet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

@@ -50,6 +50,7 @@ func main() {
 			fmt.Printf("%-10v", sl)
 			for _, n := range sizes {
 				for _, pt := range pts {
+					//cdivet:allow floateq pt.Slack is a verbatim copy of this sweep slice's sl, so the match is exact by construction
 					if pt.MatrixSize == n && pt.Threads == th && pt.Slack == sl {
 						fmt.Printf("%12.4f", 1+pt.Penalty)
 					}

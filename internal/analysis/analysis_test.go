@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// corpusPath puts every corpus in scope of the path-sensitive rules
+// (barego and errdrop apply under internal/, floateq everywhere but
+// internal/stats).
+const corpusPath = "repro/internal/corpus"
+
+// markers collects the file:line positions of "// want" comments.
+func markers(m *Module) map[string]int {
+	want := map[string]int{}
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "want" {
+						pos := m.Fset.Position(c.Pos())
+						want[fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)]++
+					}
+				}
+			}
+		}
+	}
+	return want
+}
+
+// TestCorpus proves each analyzer both fires on its positive cases and
+// honors a justified suppression: any missed positive, spurious negative,
+// failed suppression, or stale directive shows up as a set difference.
+func TestCorpus(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			m, err := LoadDirAs(filepath.Join("testdata", a.Name), corpusPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings, err := RunModule(m, Config{Analyzers: []*Analyzer{a}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]int{}
+			for _, f := range findings {
+				if f.Rule != a.Name {
+					t.Errorf("unexpected %s finding in %s corpus: %s", f.Rule, a.Name, f)
+					continue
+				}
+				got[fmt.Sprintf("%s:%d", filepath.Base(f.File), f.Line)]++
+			}
+			want := markers(m)
+			if len(want) == 0 {
+				t.Fatalf("corpus for %s has no // want markers", a.Name)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// TestDirectiveProblems covers the suppression meta-rule: a directive with
+// no rule, no reason, an unknown rule name, or no matching finding is
+// itself reported.
+func TestDirectiveProblems(t *testing.T) {
+	m, err := LoadDirAs(filepath.Join("testdata", "directive"), corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, f := range findings {
+		if f.Rule != DirectiveRule {
+			t.Errorf("unexpected finding %s", f)
+			continue
+		}
+		msgs = append(msgs, f.Message)
+	}
+	wantSubstrings := []string{
+		"missing rule name",
+		"needs a written justification",
+		`unknown rule "nosuchrule"`,
+		"suppresses no seededrand finding",
+	}
+	if len(msgs) != len(wantSubstrings) {
+		t.Fatalf("got %d directive findings %v, want %d", len(msgs), msgs, len(wantSubstrings))
+	}
+	for i, sub := range wantSubstrings {
+		if !strings.Contains(msgs[i], sub) {
+			t.Errorf("finding %d = %q, want substring %q", i, msgs[i], sub)
+		}
+	}
+}
+
+// TestFindingOrderStable runs the multi-finding maporder corpus repeatedly
+// and demands byte-identical reports: reporting must not inherit map
+// iteration nondeterminism from the driver itself.
+func TestFindingOrderStable(t *testing.T) {
+	var first []Finding
+	for i := 0; i < 3; i++ {
+		m, err := LoadDirAs(filepath.Join("testdata", "maporder"), corpusPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings, err := RunModule(m, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.SliceIsSorted(findings, func(a, b int) bool {
+			return findings[a].Line < findings[b].Line ||
+				findings[a].Line == findings[b].Line && findings[a].Col < findings[b].Col
+		}) {
+			t.Fatalf("run %d: findings not in position order: %v", i, findings)
+		}
+		if i == 0 {
+			first = findings
+			continue
+		}
+		if len(findings) != len(first) {
+			t.Fatalf("run %d: %d findings, first run had %d", i, len(findings), len(first))
+		}
+		for j := range findings {
+			if findings[j].String() != first[j].String() {
+				t.Errorf("run %d: finding %d = %s, first run had %s", i, j, findings[j], first[j])
+			}
+		}
+	}
+}
+
+// TestSubsetKeepsForeignDirectives runs a single rule over a corpus whose
+// directive names a different (valid) rule: the directive must be neither
+// "unknown" (validation is against the full suite) nor "stale" (a disabled
+// analyzer cannot prove a suppression useful).
+func TestSubsetKeepsForeignDirectives(t *testing.T) {
+	m, err := LoadDirAs(filepath.Join("testdata", "floateq"), corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(m, Config{Analyzers: []*Analyzer{MapOrder}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding with maporder-only run: %s", f)
+	}
+}
+
+// TestJSONReporter checks the machine-readable output end to end,
+// including the empty-slice (never null) contract.
+func TestJSONReporter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty findings encode as %q, want []", got)
+	}
+
+	m, err := LoadDirAs(filepath.Join("testdata", "errdrop"), corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(m, Config{Analyzers: []*Analyzer{ErrDrop}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Rule    string `json:"rule"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("reporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(findings) {
+		t.Fatalf("decoded %d findings, want %d", len(decoded), len(findings))
+	}
+	for i, d := range decoded {
+		f := findings[i]
+		if d.Rule != f.Rule || d.Line != f.Line || d.Col != f.Col || d.Message != f.Message || !strings.HasSuffix(d.File, "errdrop.go") {
+			t.Errorf("decoded[%d] = %+v, want %v", i, d, f)
+		}
+	}
+}
+
+// TestNoMatchIsError: a pattern matching zero packages must be an error,
+// not a silent pass — a typo'd pattern in CI would otherwise gate nothing.
+func TestNoMatchIsError(t *testing.T) {
+	m, err := LoadDirAs(filepath.Join("testdata", "floateq"), corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunModule(m, Config{Patterns: []string{"./nonexistent/..."}}); err == nil {
+		t.Fatal("zero-match pattern did not error")
+	}
+}
+
+// TestByName resolves rule subsets and rejects unknown names.
+func TestByName(t *testing.T) {
+	as, err := ByName("maporder, floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "maporder" || as[1].Name != "floateq" {
+		t.Fatalf("ByName = %v", as)
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("ByName accepted an unknown rule")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatal("ByName accepted an empty list")
+	}
+}
+
+// TestMatch covers the package-pattern matcher used by the CLI.
+func TestMatch(t *testing.T) {
+	m := &Module{Path: "repro"}
+	pkg := func(path string) *Package { return &Package{Path: path} }
+	cases := []struct {
+		path     string
+		patterns []string
+		want     bool
+	}{
+		{"repro/internal/sim", nil, true},
+		{"repro/internal/sim", []string{"./..."}, true},
+		{"repro/internal/sim", []string{"./internal/..."}, true},
+		{"repro/internal/sim", []string{"./internal/sim"}, true},
+		{"repro/internal/sim", []string{"internal/sim"}, true},
+		{"repro/internal/sim", []string{"./cmd/..."}, false},
+		{"repro/internal/simulator", []string{"./internal/sim/..."}, false},
+		{"repro", []string{"./..."}, true},
+		{"repro/cmd/cdivet", []string{"./internal/...", "./cmd/cdivet"}, true},
+	}
+	for _, c := range cases {
+		if got := m.Match(pkg(c.path), c.patterns); got != c.want {
+			t.Errorf("Match(%q, %v) = %v, want %v", c.path, c.patterns, got, c.want)
+		}
+	}
+}

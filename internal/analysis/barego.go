@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// BareGo flags go statements in simulation packages outside internal/sim.
+// The engine's determinism rests on single-owner handoff: exactly one
+// process runs at a time, and only the sim scheduler may create goroutines
+// (sim.Env.SpawnAt) because only it sequences their wake-ups through the
+// event heap. A bare goroutine anywhere else in the model reintroduces real
+// concurrency — and with it scheduling nondeterminism — behind the
+// engine's back. Package main and test files may use goroutines; they sit
+// outside the simulated world.
+var BareGo = &Analyzer{
+	Name: "barego",
+	Doc:  "go statement in a simulation package outside internal/sim breaks single-owner handoff",
+	Run:  runBareGo,
+}
+
+func runBareGo(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	if pass.Path == "repro/internal/sim" || strings.HasSuffix(pass.Path, "/internal/sim") {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "bare goroutine outside internal/sim; spawn simulated processes via sim.Env so the scheduler owns all concurrency")
+			}
+			return true
+		})
+	}
+}

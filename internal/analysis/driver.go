@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Config selects what to analyze.
+type Config struct {
+	// Dir is any directory inside the target module (default ".").
+	Dir string
+	// Patterns restrict the packages analyzed ("./..." when empty).
+	Patterns []string
+	// Analyzers defaults to the full suite (All).
+	Analyzers []*Analyzer
+}
+
+// Run loads the module containing cfg.Dir and applies the analyzer suite to
+// every matching package, returning suppression-filtered findings in stable
+// (file, line, col, rule) order.
+func Run(cfg Config) ([]Finding, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	m, err := LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	return RunModule(m, cfg)
+}
+
+// RunModule applies the suite to an already loaded module.
+func RunModule(m *Module, cfg Config) ([]Finding, error) {
+	analyzers := cfg.Analyzers
+	if len(analyzers) == 0 {
+		analyzers = All()
+	}
+
+	var findings []Finding
+	runPass := func(p *Package, files []*ast.File, tpkg *types.Package, info *types.Info) {
+		if len(files) == 0 || tpkg == nil {
+			return
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     m.Fset,
+				Files:    files,
+				Path:     p.Path,
+				Pkg:      tpkg,
+				Info:     info,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+
+	var dirFiles []*ast.File
+	matched := 0
+	for _, p := range m.Packages {
+		if !m.Match(p, cfg.Patterns) {
+			continue
+		}
+		matched++
+		runPass(p, p.Files, p.Types, p.Info)
+		runPass(p, p.TestFiles, p.TestTypes, p.TestInfo)
+		runPass(p, p.XTestFiles, p.XTypes, p.XInfo)
+		dirFiles = append(dirFiles, p.Files...)
+		dirFiles = append(dirFiles, p.TestFiles...)
+		dirFiles = append(dirFiles, p.XTestFiles...)
+	}
+
+	if matched == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v; a typo here would silently gate nothing", cfg.Patterns)
+	}
+
+	enabled := map[string]bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	dirs := parseDirectives(m.Fset, dirFiles)
+	findings = applySuppression(findings, dirs, enabled)
+	sortFindings(findings)
+	return findings, nil
+}

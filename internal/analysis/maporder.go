@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags range statements over maps whose body has order-dependent
+// effects: appending to a slice, writing output, sending on a channel, or
+// posting simulator events. Go randomizes map iteration order on purpose,
+// so any such loop emits results in a different order every run — the exact
+// failure mode that would corrupt regenerated tables while every unit test
+// of the underlying math still passes. Order-independent bodies
+// (accumulating a sum, filling another map, counting) are fine. Collect the
+// keys, sort them, and range over the sorted slice instead.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration with order-dependent effects; sort the keys first",
+	Run:  runMapOrder,
+}
+
+// orderDependentCall classifies callee names whose invocation inside a map
+// range makes iteration order observable.
+func orderDependentCall(name string) string {
+	switch {
+	case strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+		strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Encode"):
+		return "writes output"
+	case name == "Spawn" || name == "SpawnAt" || name == "Fire" || name == "Launch" || name == "schedule":
+		return "posts simulator events"
+	}
+	return ""
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := mapOrderEffect(rng.Body); reason != "" {
+				pass.Reportf(rng.Pos(), "map iteration order is random and this body %s; sort the keys and range over the sorted slice", reason)
+			}
+			return true
+		})
+	}
+}
+
+// mapOrderEffect scans a map-range body for the first order-dependent
+// effect and names it ("" when the body is order-independent).
+func mapOrderEffect(body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+			return false
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					reason = "appends to a slice"
+					return false
+				}
+			case *ast.SelectorExpr:
+				if r := orderDependentCall(fun.Sel.Name); r != "" {
+					reason = r
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}

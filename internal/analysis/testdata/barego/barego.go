@@ -1,0 +1,23 @@
+// Corpus for the barego analyzer: goroutines outside internal/sim. The
+// corpus loads under a synthetic repro/internal/... path so the rule is in
+// scope. Lines marked "// want" must produce exactly one finding.
+package corpus
+
+func bareGoroutines(ch chan int) {
+	go func() { ch <- 1 }() // want
+	go helper(ch)           // want
+}
+
+func helper(ch chan int) { ch <- 2 }
+
+func suppressedGoroutine(ch chan int) {
+	//cdivet:allow barego corpus: demonstrates a justified suppression
+	go helper(ch)
+}
+
+// closuresAreFine: only the go keyword creates scheduler-owned
+// concurrency; plain function values stay on the caller's stack.
+func closuresAreFine(ch chan int) {
+	f := func() { ch <- 3 }
+	f()
+}

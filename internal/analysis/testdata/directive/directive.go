@@ -1,0 +1,17 @@
+// Corpus for the suppression-directive meta-rule: malformed directives,
+// unknown rule names, and stale suppressions are themselves findings. This
+// file is otherwise clean, so every expected finding carries the
+// "directive" rule.
+package corpus
+
+//cdivet:allow
+func missingEverything() {}
+
+//cdivet:allow floateq
+func missingReason() {}
+
+//cdivet:allow nosuchrule because I made it up
+func unknownRule() {}
+
+//cdivet:allow seededrand nothing on the next line uses global rand
+func staleSuppression() int { return 4 }

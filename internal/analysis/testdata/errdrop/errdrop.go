@@ -1,0 +1,45 @@
+// Corpus for the errdrop analyzer: silently discarded error returns. The
+// corpus loads under a synthetic repro/internal/... path so the rule is in
+// scope. Lines marked "// want" must produce exactly one finding.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func doWork() error { return errors.New("boom") }
+
+func openAnd() (string, error) { return "", errors.New("boom") }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func drops(c closer) {
+	doWork()           // want
+	os.Remove("/nope") // want
+	c.Close()          // want
+}
+
+func suppressedDrop() {
+	//cdivet:allow errdrop corpus: demonstrates a justified suppression
+	doWork()
+}
+
+func handled(c closer) error {
+	if err := doWork(); err != nil {
+		return err
+	}
+	_ = doWork()    // explicit discard is visible intent
+	defer c.Close() // defers are conventional cleanup
+	fmt.Println("progress output")
+	var b strings.Builder
+	b.WriteString("never fails")
+	if _, err := openAnd(); err != nil {
+		return err
+	}
+	return nil
+}

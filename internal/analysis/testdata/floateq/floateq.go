@@ -1,0 +1,39 @@
+// Corpus for the floateq analyzer: exact floating-point comparison.
+// Lines marked "// want" must produce exactly one finding.
+package corpus
+
+type seconds float64
+
+func comparesComputed(a, b float64) bool {
+	return a == b // want
+}
+
+func notEqualFloat32(a, b float32) bool {
+	return a != b // want
+}
+
+func namedFloatTypes(a, b seconds) bool {
+	return a == b // want
+}
+
+func suppressedCompare(a, b float64) bool {
+	//cdivet:allow floateq corpus: demonstrates a justified suppression
+	return a == b
+}
+
+const threshold = 1.5
+
+// constantGuards compare against compile-time constants — deterministic by
+// construction, and the usual way to guard division.
+func constantGuards(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	if x == threshold {
+		return 1
+	}
+	return 1 / x
+}
+
+// intComparisonsAreFine: the rule is about floats only.
+func intComparisonsAreFine(a, b int) bool { return a == b }

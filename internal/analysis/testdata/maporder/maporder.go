@@ -1,0 +1,56 @@
+// Corpus for the maporder analyzer: map iteration with order-dependent
+// effects. Lines marked "// want" must produce exactly one finding.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+func appendsInMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want
+		out = append(out, k)
+	}
+	return out
+}
+
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m { // want
+		fmt.Println(k, v)
+	}
+}
+
+func sendsInMapOrder(m map[string]int, ch chan int) {
+	for _, v := range m { // want
+		ch <- v
+	}
+}
+
+func suppressedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//cdivet:allow maporder corpus: keys sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// orderIndependent bodies commute, so iteration order never shows.
+func orderIndependent(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRangesAreFine: the rule is about maps, not ordered collections.
+func sliceRangesAreFine(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

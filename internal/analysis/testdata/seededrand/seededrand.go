@@ -1,0 +1,24 @@
+// Corpus for the seededrand analyzer: global math/rand state.
+// Lines marked "// want" must produce exactly one finding.
+package corpus
+
+import "math/rand"
+
+func globalState() int {
+	x := rand.Intn(10)                 // want
+	f := rand.Float64()                // want
+	rand.Shuffle(3, func(i, j int) {}) // want
+	return x + int(f)
+}
+
+func suppressedGlobal() int {
+	//cdivet:allow seededrand corpus: demonstrates a justified suppression
+	return rand.Int()
+}
+
+// explicitStream is the sanctioned idiom: every random draw traceable to a
+// seed.
+func explicitStream(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

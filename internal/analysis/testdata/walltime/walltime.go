@@ -1,0 +1,25 @@
+// Corpus for the walltime analyzer: wall-clock reads in simulated code.
+// Lines marked "// want" must produce exactly one finding.
+package corpus
+
+import "time"
+
+func wallClock() time.Duration {
+	start := time.Now()          // want
+	time.Sleep(time.Millisecond) // want
+	ch := time.After(time.Hour)  // want
+	<-ch
+	return time.Since(start) // want
+}
+
+func suppressedWallClock() time.Time {
+	//cdivet:allow walltime corpus: demonstrates a justified suppression
+	return time.Now()
+}
+
+// conversionsAreFine uses only time's types and constants, which never read
+// the host clock.
+func conversionsAreFine(n int) time.Duration {
+	d := time.Duration(n) * time.Millisecond
+	return d.Round(time.Microsecond)
+}

@@ -360,9 +360,9 @@ func RunPerf(cfg PerfConfig) (PerfResult, error) {
 				}
 			}
 		}
-		ctx.Free(p, dIn)
-		ctx.Free(p, dParams)
-		ctx.Free(p, dLoss)
+		ctx.MustFree(p, dIn)
+		ctx.MustFree(p, dParams)
+		ctx.MustFree(p, dLoss)
 	})
 
 	if rec != nil {

@@ -170,6 +170,16 @@ func (c *Context) Free(p *sim.Proc, ptr gpu.Ptr) error {
 	return err
 }
 
+// MustFree releases device memory and panics on failure. It is the
+// teardown form of Free for workload models: a free that fails mid-model
+// means the model double-freed or fabricated a pointer, which is a bug in
+// the simulation itself, not a runtime condition to recover from.
+func (c *Context) MustFree(p *sim.Proc, ptr gpu.Ptr) {
+	if err := c.Free(p, ptr); err != nil {
+		panic(fmt.Sprintf("cuda: MustFree: %v", err))
+	}
+}
+
 // checkCopy validates a transfer against the allocation it targets.
 func (c *Context) checkCopy(ptr gpu.Ptr, n int64) error {
 	if n < 0 {

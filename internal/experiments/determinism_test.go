@@ -1,0 +1,53 @@
+package experiments
+
+// End-to-end determinism regression: the property every cdivet analyzer
+// exists to protect. Rendering the same experiments twice from fresh
+// simulation state must produce byte-identical text — the in-process
+// equivalent of running `reproduce -exp table4` and `-exp compose` twice
+// with the same seed. Any wall-clock read, global-rand draw, or map-order
+// dependence anywhere under CollectTraces/Table4/Compose breaks this.
+
+import "testing"
+
+func renderTable4Once(t *testing.T) string {
+	t.Helper()
+	o := Quick()
+	traces, err := CollectTraces(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, _, err := Table4(o, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RenderTable4(blocks)
+}
+
+func TestTable4ByteIdentical(t *testing.T) {
+	first := renderTable4Once(t)
+	second := renderTable4Once(t)
+	if first != second {
+		t.Fatalf("two identically seeded table4 runs diverged\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	if first == "" {
+		t.Fatal("table4 rendered empty")
+	}
+}
+
+func TestComposeByteIdentical(t *testing.T) {
+	render := func() string {
+		c, err := Compose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderCompose(c)
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Fatalf("two compose runs diverged\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	if first == "" {
+		t.Fatal("compose rendered empty")
+	}
+}

@@ -112,8 +112,8 @@ func RunHybrid(cfg HybridConfig) (HybridResult, error) {
 			system.StepsRun++
 		}
 		res.Runtime = p.Now().Sub(start)
-		ctx.Free(p, dPos)
-		ctx.Free(p, dForce)
+		ctx.MustFree(p, dPos)
+		ctx.MustFree(p, dForce)
 	})
 	env.Run()
 	if runErr != nil {

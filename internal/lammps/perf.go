@@ -240,9 +240,9 @@ func RunPerf(cfg PerfConfig) (PerfResult, error) {
 			p.Sleep(StepFixed)
 			r.Barrier()
 		}
-		ctx.Free(p, dPos)
-		ctx.Free(p, dForce)
-		ctx.Free(p, dNeigh)
+		ctx.MustFree(p, dPos)
+		ctx.MustFree(p, dForce)
+		ctx.MustFree(p, dNeigh)
 	})
 
 	if rec != nil {

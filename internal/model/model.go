@@ -80,10 +80,12 @@ func BuildSurface(points []proxy.SweepPoint) (*Surface, error) {
 		}
 		s.curves[k] = in
 	}
+	//cdivet:allow maporder keys are collected unordered and sorted on the next line
 	for size := range sizeSet {
 		s.sizes = append(s.sizes, size)
 	}
 	sort.Ints(s.sizes)
+	//cdivet:allow maporder keys are collected unordered and sorted on the next line
 	for th := range threadSet {
 		s.threads = append(s.threads, th)
 	}

@@ -288,13 +288,16 @@ func TestInvalidRanksPanic(t *testing.T) {
 	env := sim.NewEnv()
 	defer env.Close()
 	w := NewWorld(env, 2, zeroCost())
-	for name, fn := range map[string]func(r *Rank){
-		"send":   func(r *Rank) { r.Send(5, 0, 0, nil) },
-		"bcast":  func(r *Rank) { r.Bcast(nil, 5) },
-		"gather": func(r *Rank) { r.Gather(nil, -1) },
+	for _, tc := range []struct {
+		name string
+		fn   func(r *Rank)
+	}{
+		{"send", func(r *Rank) { r.Send(5, 0, 0, nil) }},
+		{"bcast", func(r *Rank) { r.Bcast(nil, 5) }},
+		{"gather", func(r *Rank) { r.Gather(nil, -1) }},
 	} {
-		name := name
-		fn := fn
+		name := tc.name
+		fn := tc.fn
 		w = NewWorld(env, 2, zeroCost())
 		w.Spawn(0, func(r *Rank) {
 			defer func() {

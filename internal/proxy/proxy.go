@@ -192,8 +192,8 @@ func Run(cfg Config) (Result, error) {
 		}
 		res.KernelTime = d
 		ctx.StreamDestroy(p, s)
-		ctx.Free(p, a)
-		ctx.Free(p, b)
+		ctx.MustFree(p, a)
+		ctx.MustFree(p, b)
 	})
 	env.Run()
 	if timingErr != nil {

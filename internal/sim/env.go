@@ -34,6 +34,7 @@ type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//cdivet:allow floateq exact tie-break: events at bit-identical times fall through to the seq FIFO order; an epsilon would merge distinct instants
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
@@ -203,6 +204,7 @@ func (e *Env) Step() bool {
 // result is sorted for stable test output.
 func (e *Env) Blocked() []string {
 	var names []string
+	//cdivet:allow maporder keys are collected unordered and sorted on the next line
 	for p := range e.parked {
 		names = append(names, p.name)
 	}
@@ -223,6 +225,7 @@ func (e *Env) Close() {
 	}
 	e.closed = true
 	// Unwind processes parked on signals.
+	//cdivet:allow maporder teardown after results are final: aborted processes run no model code, so unwind order is unobservable
 	for p := range e.parked {
 		for _, o := range p.waits {
 			o.cancelled = true

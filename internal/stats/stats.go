@@ -160,3 +160,28 @@ func RelativeChange(base, now float64) float64 {
 	}
 	return (now - base) / base
 }
+
+// ApproxEqual reports whether a and b agree to within tol, measured
+// relative to the larger magnitude once that exceeds 1 (so tol acts as an
+// absolute tolerance near zero and a relative one for large values). It is
+// the approved comparison for computed floating-point quantities — exact
+// ==/!= between computed floats is rejected repo-wide by cdivet's floateq
+// rule, because two mathematically equal results reached along different
+// code paths routinely differ in the final ulp. NaN equals nothing,
+// matching IEEE-754.
+func ApproxEqual(a, b, tol float64) bool {
+	if tol < 0 {
+		panic("stats: negative ApproxEqual tolerance")
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	scale := 1.0
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > scale {
+		scale = m
+	}
+	return math.Abs(a-b) <= tol*scale
+}

@@ -424,3 +424,37 @@ func TestPropertyInterpolatorWithinBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{0, 0, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},             // relative agreement at scale 1
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative agreement at large scale
+		{1e12, 1.01e12, 1e-9, false},
+		{0, 1e-12, 1e-9, true}, // absolute tolerance near zero
+		{0, 1e-3, 1e-9, false},
+		{math.NaN(), math.NaN(), 1, false},
+		{math.NaN(), 0, 1, false},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.Inf(1), 1e300, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualNegativeTolerancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative tolerance")
+		}
+	}()
+	ApproxEqual(1, 1, -1e-9)
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# check.sh — the full CI gate: build, vet, race-enabled tests, and the
+# determinism-invariant lint suite (cmd/cdivet). Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== cdivet ./..."
+go run ./cmd/cdivet ./...
+
+echo "check.sh: all gates green"
