@@ -350,7 +350,7 @@ func BenchmarkExtensionAppValidation(b *testing.B) {
 
 func BenchmarkExtensionCongestion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Congestion()
+		pts, err := experiments.Congestion(experiments.Quick())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -371,7 +371,7 @@ func BenchmarkExtensionRemoting(b *testing.B) {
 
 func BenchmarkExtensionThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Throughput(); err != nil {
+		if _, err := experiments.Throughput(experiments.Quick()); err != nil {
 			b.Fatal(err)
 		}
 	}

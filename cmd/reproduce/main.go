@@ -4,6 +4,8 @@
 //	reproduce -exp all            # everything, quick parameters
 //	reproduce -exp table4         # one experiment
 //	reproduce -exp figure2 -paper # paper-faithful parameters (slow)
+//	reproduce -exp all -j 8       # eight sweep workers; output is
+//	                              # byte-identical for every -j value
 //
 // Paper experiments: table1 figure2 threads cfcpu table2 figure3 figure4
 // figure5 table3 table4 validate compose.
@@ -16,24 +18,51 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/experiments"
 )
 
+// experimentIDs lists every id -exp accepts, in presentation order.
+var experimentIDs = []string{
+	"table1", "figure2", "threads", "cfcpu", "table2", "figure3",
+	"figure4", "figure5", "table3", "table4", "validate", "compose",
+	"appvalidate", "scales", "preload", "congestion", "remoting",
+	"weak", "coupling", "throughput", "reach",
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (or comma list)")
 	paper := flag.Bool("paper", false, "paper-faithful parameters (slow: full 5000-step runs, 30s proxy loops)")
+	jobs := flag.Int("j", 0, "worker pool size for sweeps (0 = GOMAXPROCS, 1 = serial); output is byte-identical for every value")
 	flag.Parse()
 
 	opts := experiments.Quick()
 	if *paper {
 		opts = experiments.Paper()
 	}
+	opts.Jobs = *jobs
 
+	known := map[string]bool{"all": true}
+	for _, id := range experimentIDs {
+		known[id] = true
+	}
 	want := map[string]bool{}
+	var unknown []string
 	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(e)] = true
+		e = strings.TrimSpace(e)
+		if !known[e] {
+			unknown = append(unknown, e)
+			continue
+		}
+		want[e] = true
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "unknown experiment id(s): %s\n", strings.Join(unknown, ", "))
+		fmt.Fprintf(os.Stderr, "valid ids: all, %s\n", strings.Join(experimentIDs, ", "))
+		os.Exit(2)
 	}
 	all := want["all"]
 	ran := 0
@@ -124,7 +153,7 @@ func main() {
 		fmt.Print(experiments.RenderPreload(rows))
 	}
 	if section("congestion") {
-		pts, err := experiments.Congestion()
+		pts, err := experiments.Congestion(opts)
 		check(err)
 		fmt.Print(experiments.RenderCongestion(pts))
 	}
@@ -144,7 +173,7 @@ func main() {
 		fmt.Print(experiments.RenderChassisCoupling(rows))
 	}
 	if section("throughput") {
-		rows, err := experiments.Throughput()
+		rows, err := experiments.Throughput(opts)
 		check(err)
 		fmt.Print(experiments.RenderThroughput(rows))
 	}
@@ -157,7 +186,7 @@ func main() {
 	}
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "no experiments selected by %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}

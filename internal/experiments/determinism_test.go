@@ -7,7 +7,10 @@ package experiments
 // with the same seed. Any wall-clock read, global-rand draw, or map-order
 // dependence anywhere under CollectTraces/Table4/Compose breaks this.
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func renderTable4Once(t *testing.T) string {
 	t.Helper()
@@ -31,6 +34,53 @@ func TestTable4ByteIdentical(t *testing.T) {
 	}
 	if first == "" {
 		t.Fatal("table4 rendered empty")
+	}
+}
+
+// renderParallelSuite renders a representative slice of the reproduction —
+// a table (runner.Map over boxes), a figure (Map over a 2-D grid), a slack
+// sweep (proxy.SweepParallel) and the congestion extension (Map inside
+// fabric) — at one worker-pool width.
+func renderParallelSuite(t *testing.T, jobs int) string {
+	t.Helper()
+	o := tiny()
+	o.Jobs = jobs
+	var b strings.Builder
+	rows, err := Table1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderTable1(rows))
+	series, err := Figure2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderFigure2(series))
+	pts, err := Figure3(o, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderFigure3(pts))
+	cong, err := Congestion(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderCongestion(cong))
+	return b.String()
+}
+
+// TestParallelSweepByteIdentical is the contract the -j flag advertises:
+// the worker-pool width is invisible in the output. Each sweep point owns a
+// private sim.Env and results merge in input order, so -j 1 (the exact
+// serial path) and -j 8 must render byte-identically.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	serial := renderParallelSuite(t, 1)
+	parallel := renderParallelSuite(t, 8)
+	if serial != parallel {
+		t.Fatalf("-j 1 and -j 8 diverged\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	if serial == "" {
+		t.Fatal("suite rendered empty")
 	}
 }
 

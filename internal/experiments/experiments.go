@@ -18,6 +18,7 @@ import (
 	"repro/internal/lammps"
 	"repro/internal/model"
 	"repro/internal/proxy"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -35,6 +36,12 @@ type Options struct {
 	// epochs × 1024 samples).
 	CosmoEpochs  int
 	CosmoSamples int
+	// Jobs bounds the worker pool every sweep fans its independent
+	// configuration points across (cmd/reproduce's -j flag). Each point
+	// owns a private sim.Env and results merge in input order, so output
+	// is byte-identical for every value: 1 recovers the exact serial
+	// path, 0 selects GOMAXPROCS.
+	Jobs int
 }
 
 // Quick returns reduced-cost options that preserve every reported shape.
@@ -76,20 +83,20 @@ type Table1Row struct {
 func Table1(o Options) ([]Table1Row, error) {
 	o = o.withDefaults()
 	paper := map[int]float64{20: 5.473, 60: 66.523, 80: 160.703, 100: 312.185, 120: 541.452}
-	var rows []Table1Row
-	for _, box := range []int{20, 60, 80, 100, 120} {
+	boxes := []int{20, 60, 80, 100, 120}
+	return runner.Map(o.Jobs, len(boxes), func(i int) (Table1Row, error) {
+		box := boxes[i]
 		r, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: box, Steps: o.LAMMPSSteps})
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			BoxSize:      box,
 			Atoms:        r.Atoms,
 			Measured:     r.FullRuntime,
 			PaperSeconds: paper[box],
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderTable1 formats Table I.
@@ -118,19 +125,27 @@ type Figure2Series struct {
 func Figure2(o Options) ([]Figure2Series, error) {
 	o = o.withDefaults()
 	procs := []int{1, 2, 4, 8, 12, 16, 20, 24}
+	boxes := []int{20, 60, 80, 100, 120}
+	// Fan the full box × procs grid out as independent points, then
+	// normalize each box's row against its p=1 entry during the ordered
+	// merge.
+	times, err := runner.Map(o.Jobs, len(boxes)*len(procs), func(i int) (sim.Duration, error) {
+		box, p := boxes[i/len(procs)], procs[i%len(procs)]
+		r, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: box, Procs: p, Steps: o.LAMMPSSteps})
+		if err != nil {
+			return 0, err
+		}
+		return r.StepTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Figure2Series
-	for _, box := range []int{20, 60, 80, 100, 120} {
+	for bi, box := range boxes {
 		s := Figure2Series{BoxSize: box, Procs: procs}
-		var base sim.Duration
-		for _, p := range procs {
-			r, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: box, Procs: p, Steps: o.LAMMPSSteps})
-			if err != nil {
-				return nil, err
-			}
-			if p == 1 {
-				base = r.StepTime
-			}
-			s.Normalized = append(s.Normalized, float64(r.StepTime)/float64(base))
+		base := times[bi*len(procs)] // procs[0] == 1
+		for pi := range procs {
+			s.Normalized = append(s.Normalized, float64(times[bi*len(procs)+pi])/float64(base))
 		}
 		out = append(out, s)
 	}
@@ -178,38 +193,35 @@ type ThreadRow struct {
 // processes, plus the box-200 full-node comparison.
 func ThreadScaling(o Options) ([]ThreadRow, error) {
 	o = o.withDefaults()
-	var rows []ThreadRow
-	oneCore, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: 120, Steps: o.LAMMPSSteps})
-	if err != nil {
-		return nil, err
-	}
-	var oneThread sim.Duration
-	for _, t := range []int{1, 2, 4, 6} {
-		r, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: 120, Procs: 8, Threads: t, Steps: o.LAMMPSSteps})
-		if err != nil {
-			return nil, err
-		}
-		if t == 1 {
-			oneThread = r.StepTime
-		}
-		rows = append(rows, ThreadRow{
-			BoxSize: 120, Procs: 8, Threads: t, StepTime: r.StepTime,
-			VsOneThread: float64(r.StepTime) / float64(oneThread),
-			VsOneCore:   float64(r.StepTime) / float64(oneCore.StepTime),
-		})
-	}
 	// Box 200: 24 cores (12p×2t) vs 48 cores (24p×2t).
 	steps200 := o.LAMMPSSteps
 	if steps200 > 100 {
 		steps200 = 100 // 32M atoms: keep the event count sane
 	}
-	r24, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: 200, Procs: 12, Threads: 2, Steps: steps200})
+	threads := []int{1, 2, 4, 6}
+	cfgs := []lammps.PerfConfig{
+		{BoxSize: 120, Steps: o.LAMMPSSteps}, // the 1-core baseline
+		{BoxSize: 200, Procs: 12, Threads: 2, Steps: steps200},
+		{BoxSize: 200, Procs: 24, Threads: 2, Steps: steps200},
+	}
+	for _, t := range threads {
+		cfgs = append(cfgs, lammps.PerfConfig{BoxSize: 120, Procs: 8, Threads: t, Steps: o.LAMMPSSteps})
+	}
+	res, err := runner.Map(o.Jobs, len(cfgs), func(i int) (lammps.PerfResult, error) {
+		return lammps.RunPerf(cfgs[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	r48, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: 200, Procs: 24, Threads: 2, Steps: steps200})
-	if err != nil {
-		return nil, err
+	oneCore, r24, r48, threadRes := res[0], res[1], res[2], res[3:]
+	oneThread := threadRes[0].StepTime // threads[0] == 1
+	var rows []ThreadRow
+	for i, t := range threads {
+		rows = append(rows, ThreadRow{
+			BoxSize: 120, Procs: 8, Threads: t, StepTime: threadRes[i].StepTime,
+			VsOneThread: float64(threadRes[i].StepTime) / float64(oneThread),
+			VsOneCore:   float64(threadRes[i].StepTime) / float64(oneCore.StepTime),
+		})
 	}
 	rows = append(rows,
 		ThreadRow{BoxSize: 200, Procs: 12, Threads: 2, StepTime: r24.StepTime, VsOneThread: 1},
@@ -247,18 +259,17 @@ type CPUAffinityRow struct {
 // CosmoFlowCPU regenerates the CosmoFlow core-affinity result.
 func CosmoFlowCPU(o Options) ([]CPUAffinityRow, error) {
 	o = o.withDefaults()
-	var rows []CPUAffinityRow
-	for _, cores := range []int{1, 2, 4, 8} {
+	cores := []int{1, 2, 4, 8}
+	return runner.Map(o.Jobs, len(cores), func(i int) (CPUAffinityRow, error) {
 		r, err := cosmoflow.RunPerf(cosmoflow.PerfConfig{
-			Cores: cores, Epochs: o.CosmoEpochs,
+			Cores: cores[i], Epochs: o.CosmoEpochs,
 			TrainSamples: o.CosmoSamples, ValSamples: o.CosmoSamples / 2,
 		})
 		if err != nil {
-			return nil, err
+			return CPUAffinityRow{}, err
 		}
-		rows = append(rows, CPUAffinityRow{Cores: cores, Runtime: r.Runtime})
-	}
-	return rows, nil
+		return CPUAffinityRow{Cores: cores[i], Runtime: r.Runtime}, nil
+	})
 }
 
 // RenderCosmoFlowCPU formats the affinity results.
@@ -285,21 +296,21 @@ type Table2Row struct {
 // Table2 regenerates the proxy baselines. With paper-faithful sizing
 // (ProxyIters 0) the iteration counts show the paper's [5, 1000] clamps.
 func Table2(o Options) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, n := range proxy.PaperSizes() {
+	sizes := proxy.PaperSizes()
+	return runner.Map(o.Jobs, len(sizes), func(i int) (Table2Row, error) {
+		n := sizes[i]
 		r, err := proxy.Run(proxy.Config{MatrixSize: n, Iters: o.ProxyIters})
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			MatrixSize: n,
 			MatrixMiB:  float64(gpu.MatrixBytes(n)) / (1 << 20),
 			KernelTime: r.KernelTime,
 			Iters:      r.Iters,
 			LoopTime:   r.LoopTime,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderTable2 formats Table II.
@@ -331,7 +342,7 @@ func Figure3(o Options, threads []int) ([]proxy.SweepPoint, error) {
 		// keep the three sizes that show every trend.
 		sizes = sizes[:3]
 	}
-	return proxy.Sweep(sizes, threads, slacks, o.ProxyIters)
+	return proxy.SweepParallel(sizes, threads, slacks, o.ProxyIters, o.Jobs)
 }
 
 // RenderFigure3 formats the sweep as one grid per thread count.
@@ -394,21 +405,35 @@ type Traces struct {
 	CosmoFlow *trace.Trace
 }
 
-// CollectTraces profiles both applications.
+// CollectTraces profiles both applications, each in its own simulation.
 func CollectTraces(o Options) (Traces, error) {
 	o = o.withDefaults()
-	lr, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: 120, Procs: 8, Steps: o.LAMMPSSteps, Record: true})
+	var tr Traces
+	err := runner.Go(o.Jobs,
+		func() error {
+			lr, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: 120, Procs: 8, Steps: o.LAMMPSSteps, Record: true})
+			if err != nil {
+				return err
+			}
+			tr.LAMMPS = lr.Trace
+			return nil
+		},
+		func() error {
+			cr, err := cosmoflow.RunPerf(cosmoflow.PerfConfig{
+				Epochs: o.CosmoEpochs, TrainSamples: o.CosmoSamples, ValSamples: o.CosmoSamples / 2,
+				Record: true,
+			})
+			if err != nil {
+				return err
+			}
+			tr.CosmoFlow = cr.Trace
+			return nil
+		},
+	)
 	if err != nil {
 		return Traces{}, err
 	}
-	cr, err := cosmoflow.RunPerf(cosmoflow.PerfConfig{
-		Epochs: o.CosmoEpochs, TrainSamples: o.CosmoSamples, ValSamples: o.CosmoSamples / 2,
-		Record: true,
-	})
-	if err != nil {
-		return Traces{}, err
-	}
-	return Traces{LAMMPS: lr.Trace, CosmoFlow: cr.Trace}, nil
+	return tr, nil
 }
 
 // RenderFigure4 formats the kernel-duration violins (top five kernels plus
@@ -522,21 +547,25 @@ func Table4(o Options, tr Traces) ([]Table4Block, *model.Surface, error) {
 		Sizes:   []int{1 << 9, 1 << 11, 1 << 13},
 		Threads: []int{1, 4, 8},
 		Iters:   o.ProxyIters,
+		Jobs:    o.Jobs,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	var blocks []Table4Block
-	for _, w := range []struct {
+	apps := []struct {
 		tr  *trace.Trace
 		par int
-	}{{tr.LAMMPS, 8}, {tr.CosmoFlow, 4}} {
-		app := model.ProfileFromTrace(w.tr, w.par)
+	}{{tr.LAMMPS, 8}, {tr.CosmoFlow, 4}}
+	blocks, err := runner.Map(o.Jobs, len(apps), func(i int) (Table4Block, error) {
+		app := model.ProfileFromTrace(apps[i].tr, apps[i].par)
 		preds, err := study.Predict(app)
 		if err != nil {
-			return nil, nil, err
+			return Table4Block{}, err
 		}
-		blocks = append(blocks, Table4Block{App: w.tr.Label, Predictions: preds})
+		return Table4Block{App: apps[i].tr.Label, Predictions: preds}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return blocks, study.Surface, nil
 }
@@ -580,6 +609,7 @@ func Validate(o Options) (ValidationResult, error) {
 		Sizes:   []int{1 << 9, 1 << 11, 1 << 13},
 		Threads: []int{1},
 		Iters:   o.ProxyIters,
+		Jobs:    o.Jobs,
 	})
 	if err != nil {
 		return ValidationResult{}, err
@@ -588,17 +618,26 @@ func Validate(o Options) (ValidationResult, error) {
 		size  = 1 << 11
 		slack = 1 * sim.Millisecond
 	)
-	app, _, err := study.Profile(core.ProxyWorkload{Config: proxy.Config{
-		MatrixSize: size, Threads: 1, Iters: o.ProxyIters,
-	}})
-	if err != nil {
-		return ValidationResult{}, err
-	}
-	base, err := proxy.Run(proxy.Config{MatrixSize: size, Threads: 1, Iters: o.ProxyIters})
-	if err != nil {
-		return ValidationResult{}, err
-	}
-	run, err := proxy.Run(proxy.Config{MatrixSize: size, Threads: 1, Iters: o.ProxyIters, Slack: slack})
+	var (
+		app       model.AppProfile
+		base, run proxy.Result
+	)
+	err = runner.Go(o.Jobs,
+		func() (err error) {
+			app, _, err = study.Profile(core.ProxyWorkload{Config: proxy.Config{
+				MatrixSize: size, Threads: 1, Iters: o.ProxyIters,
+			}})
+			return err
+		},
+		func() (err error) {
+			base, err = proxy.Run(proxy.Config{MatrixSize: size, Threads: 1, Iters: o.ProxyIters})
+			return err
+		},
+		func() (err error) {
+			run, err = proxy.Run(proxy.Config{MatrixSize: size, Threads: 1, Iters: o.ProxyIters, Slack: slack})
+			return err
+		},
+	)
 	if err != nil {
 		return ValidationResult{}, err
 	}

@@ -254,7 +254,7 @@ func TestAppSlackValidation(t *testing.T) {
 }
 
 func TestCongestionExperiment(t *testing.T) {
-	pts, err := Congestion()
+	pts, err := Congestion(tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +353,7 @@ func TestProxyKernelMeans(t *testing.T) {
 }
 
 func TestThroughputExperiment(t *testing.T) {
-	rows, err := Throughput()
+	rows, err := Throughput(tiny())
 	if err != nil {
 		t.Fatal(err)
 	}

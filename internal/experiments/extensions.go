@@ -30,6 +30,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/proxy"
 	"repro/internal/remoting"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/slack"
@@ -54,68 +55,81 @@ func AppSlackValidation(o Options, slacks []sim.Duration) ([]AppValidationRow, e
 	if len(slacks) == 0 {
 		slacks = []sim.Duration{100 * sim.Microsecond, 10 * sim.Millisecond}
 	}
-	study, err := core.NewStudy(core.StudyConfig{
-		Sizes:   []int{1 << 9, 1 << 11, 1 << 13},
-		Threads: []int{1, 4, 8},
-		Iters:   o.ProxyIters,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	var rows []AppValidationRow
-
-	// LAMMPS: slack on every rank's calls; each rank's serial path
-	// carries its own share of the delayed calls for Equation 1.
 	lcfg := lammps.PerfConfig{BoxSize: 60, Procs: 8, Steps: o.LAMMPSSteps}
 	lcfg.Record = true
-	lbase, err := lammps.RunPerf(lcfg)
-	if err != nil {
-		return nil, err
-	}
-	lapp := model.ProfileFromTrace(lbase.Trace, lcfg.Procs)
-	for _, sl := range slacks {
-		runCfg := lcfg
-		runCfg.Record = false
-		runCfg.Slack = sl
-		run, err := lammps.RunPerf(runCfg)
-		if err != nil {
-			return nil, err
-		}
-		perRank := run.DelayedCalls / int64(lcfg.Procs)
-		corrected := model.NoSlackTime(run.Runtime, perRank, sl)
-		measured := float64(corrected)/float64(lbase.Runtime) - 1
-		if measured < 0 {
-			measured = 0
-		}
-		pred, err := study.Surface.Predict(lapp, sl)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AppValidationRow{
-			App: "lammps", Slack: sl,
-			Measured: measured, Lower: pred.Lower, Upper: pred.Upper,
-		})
-	}
-
-	// CosmoFlow: a single worker, so every delayed call sits on one
-	// serial path.
 	ccfg := cosmoflow.PerfConfig{
 		Epochs: o.CosmoEpochs, TrainSamples: o.CosmoSamples, ValSamples: o.CosmoSamples / 2,
 	}
 	ccfg.Record = true
-	cbase, err := cosmoflow.RunPerf(ccfg)
+
+	// Calibration and the two zero-slack baselines are independent.
+	var (
+		study *core.Study
+		lbase lammps.PerfResult
+		cbase cosmoflow.PerfResult
+	)
+	err := runner.Go(o.Jobs,
+		func() error {
+			var err error
+			study, err = core.NewStudy(core.StudyConfig{
+				Sizes:   []int{1 << 9, 1 << 11, 1 << 13},
+				Threads: []int{1, 4, 8},
+				Iters:   o.ProxyIters,
+				Jobs:    1, // inner grid stays serial; the outer pool owns the parallelism
+			})
+			return err
+		},
+		func() error {
+			var err error
+			lbase, err = lammps.RunPerf(lcfg)
+			return err
+		},
+		func() error {
+			var err error
+			cbase, err = cosmoflow.RunPerf(ccfg)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
+	lapp := model.ProfileFromTrace(lbase.Trace, lcfg.Procs)
 	capp := model.ProfileFromTrace(cbase.Trace, 4)
-	for _, sl := range slacks {
+
+	// One point per (app, slack): LAMMPS carries its slack share on every
+	// rank's serial path for Equation 1; CosmoFlow's single worker puts
+	// every delayed call on one serial path.
+	return runner.Map(o.Jobs, 2*len(slacks), func(i int) (AppValidationRow, error) {
+		sl := slacks[i%len(slacks)]
+		if i < len(slacks) {
+			runCfg := lcfg
+			runCfg.Record = false
+			runCfg.Slack = sl
+			run, err := lammps.RunPerf(runCfg)
+			if err != nil {
+				return AppValidationRow{}, err
+			}
+			perRank := run.DelayedCalls / int64(lcfg.Procs)
+			corrected := model.NoSlackTime(run.Runtime, perRank, sl)
+			measured := float64(corrected)/float64(lbase.Runtime) - 1
+			if measured < 0 {
+				measured = 0
+			}
+			pred, err := study.Surface.Predict(lapp, sl)
+			if err != nil {
+				return AppValidationRow{}, err
+			}
+			return AppValidationRow{
+				App: "lammps", Slack: sl,
+				Measured: measured, Lower: pred.Lower, Upper: pred.Upper,
+			}, nil
+		}
 		runCfg := ccfg
 		runCfg.Record = false
 		runCfg.Slack = sl
 		run, err := cosmoflow.RunPerf(runCfg)
 		if err != nil {
-			return nil, err
+			return AppValidationRow{}, err
 		}
 		corrected := model.NoSlackTime(run.Runtime, run.DelayedCalls, sl)
 		measured := float64(corrected)/float64(cbase.Runtime) - 1
@@ -124,14 +138,13 @@ func AppSlackValidation(o Options, slacks []sim.Duration) ([]AppValidationRow, e
 		}
 		pred, err := study.Surface.Predict(capp, sl)
 		if err != nil {
-			return nil, err
+			return AppValidationRow{}, err
 		}
-		rows = append(rows, AppValidationRow{
+		return AppValidationRow{
 			App: "cosmoflow", Slack: sl,
 			Measured: measured, Lower: pred.Lower, Upper: pred.Upper,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderAppValidation formats the in-situ validation.
@@ -148,14 +161,15 @@ func RenderAppValidation(rows []AppValidationRow) string {
 }
 
 // Congestion sweeps host count on a shared chassis uplink.
-func Congestion() ([]fabric.CongestionPoint, error) {
-	return fabric.CongestionSweep(
+func Congestion(o Options) ([]fabric.CongestionPoint, error) {
+	return fabric.CongestionSweepParallel(
 		[]int{1, 2, 4, 8, 16, 32},
 		10<<20,            // 10 MiB position/force-sized transfers
 		2*sim.Millisecond, // per-step think time
 		1*sim.Microsecond,
 		23e9,
 		40,
+		o.Jobs,
 	)
 }
 
@@ -178,19 +192,14 @@ func RemotingComparison(o Options) ([]remoting.CompareResult, error) {
 	if iters <= 0 {
 		iters = 50
 	}
-	var out []remoting.CompareResult
-	for _, noise := range []float64{0, 0.3} {
-		res, err := remoting.Compare(2048, iters, remoting.Config{
+	noises := []float64{0, 0.3}
+	return runner.Map(o.Jobs, len(noises), func(i int) (remoting.CompareResult, error) {
+		return remoting.Compare(2048, iters, remoting.Config{
 			Path:          fabric.Preset(fabric.RowScale, 0),
-			NoiseFraction: noise,
+			NoiseFraction: noises[i],
 			Seed:          42,
 		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	})
 }
 
 // RenderRemoting formats the comparison.
@@ -226,23 +235,27 @@ func WeakScaling(o Options) ([]WeakScalingRow, error) {
 	shapes := []struct{ box, procs int }{
 		{40, 1}, {80, 8}, {120, 27},
 	}
-	var rows []WeakScalingRow
-	var base sim.Duration
-	for _, s := range shapes {
+	rows, err := runner.Map(o.Jobs, len(shapes), func(i int) (WeakScalingRow, error) {
+		s := shapes[i]
 		r, err := lammps.RunPerf(lammps.PerfConfig{BoxSize: s.box, Procs: s.procs, Steps: o.LAMMPSSteps})
 		if err != nil {
-			return nil, err
+			return WeakScalingRow{}, err
 		}
-		if s.procs == 1 {
-			base = r.StepTime
-		}
-		rows = append(rows, WeakScalingRow{
+		return WeakScalingRow{
 			BoxSize:      s.box,
 			Procs:        s.procs,
 			AtomsPerRank: r.Atoms / s.procs,
 			StepTime:     r.StepTime,
-			Efficiency:   float64(base) / float64(r.StepTime),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// shapes[0] is the single-rank reference, so efficiency is a pure
+	// post-pass over the merged rows.
+	base := rows[0].StepTime
+	for i := range rows {
+		rows[i].Efficiency = float64(base) / float64(rows[i].StepTime)
 	}
 	return rows, nil
 }
@@ -279,27 +292,29 @@ func Reach(o Options, tr Traces) ([]ReachRow, error) {
 		Sizes:   []int{1 << 9, 1 << 11, 1 << 13},
 		Threads: []int{1, 4, 8},
 		Iters:   o.ProxyIters,
+		Jobs:    o.Jobs,
 	})
 	if err != nil {
 		return nil, err
 	}
 	kms := []float64{0.05, 1, 5, 20, 100, 500, 2000}
-	var rows []ReachRow
-	for _, blk := range blocks {
-		app := model.ProfileFromTrace(blk.tr, blk.par)
-		for _, km := range kms {
-			slack := fabric.PropagationDelay(km)
-			pred, err := study.Surface.Predict(app, slack)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, ReachRow{
-				App: blk.tr.Label, Km: km, Slack: slack,
-				Upper: pred.Upper, Within1: pred.Upper < 0.01,
-			})
-		}
+	apps := make([]model.AppProfile, len(blocks))
+	for i, blk := range blocks {
+		apps[i] = model.ProfileFromTrace(blk.tr, blk.par)
 	}
-	return rows, nil
+	// Predictions over the (app, km) grid are independent surface reads.
+	return runner.Map(o.Jobs, len(blocks)*len(kms), func(i int) (ReachRow, error) {
+		blk, km := blocks[i/len(kms)], kms[i%len(kms)]
+		slack := fabric.PropagationDelay(km)
+		pred, err := study.Surface.Predict(apps[i/len(kms)], slack)
+		if err != nil {
+			return ReachRow{}, err
+		}
+		return ReachRow{
+			App: blk.tr.Label, Km: km, Slack: slack,
+			Upper: pred.Upper, Within1: pred.Upper < 0.01,
+		}, nil
+	})
 }
 
 // RenderReach formats the distance budget.
@@ -317,18 +332,25 @@ func RenderReach(rows []ReachRow) string {
 // ProxyKernelMeans exposes per-size in-loop kernel durations for docs and
 // debugging of the binning tolerance.
 func ProxyKernelMeans(o Options) (map[int]sim.Duration, error) {
-	out := map[int]sim.Duration{}
-	for _, n := range proxy.PaperSizes()[:3] {
-		r, err := proxy.Run(proxy.Config{MatrixSize: n, Iters: o.ProxyIters, Record: true})
+	sizes := proxy.PaperSizes()[:3]
+	means, err := runner.Map(o.Jobs, len(sizes), func(i int) (sim.Duration, error) {
+		r, err := proxy.Run(proxy.Config{MatrixSize: sizes[i], Iters: o.ProxyIters, Record: true})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		durs := r.Trace.KernelDurations()
 		var sum float64
 		for _, d := range durs {
 			sum += d
 		}
-		out[n] = sim.Duration(sum / float64(len(durs)))
+		return sim.Duration(sum / float64(len(durs))), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]sim.Duration{}
+	for i, n := range sizes {
+		out[n] = means[i]
 	}
 	return out, nil
 }
@@ -345,16 +367,21 @@ type ThroughputRow struct {
 // GPU-dominant, balanced — the paper's framing) on equal-hardware
 // traditional and CDI machines and aggregates over several seeds — the
 // introduction's job-throughput and energy claims, quantified.
-func Throughput() ([]ThroughputRow, error) {
+func Throughput(o Options) ([]ThroughputRow, error) {
+	const seeds = 5
+	cmps, err := runner.Map(o.Jobs, seeds, func(i int) (sched.Comparison, error) {
+		seed := int64(i + 1)
+		jobs := sched.WorkloadMix(40, 24, seed)
+		return sched.Compare(jobs, 8, 24, 2, sched.Backfill)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate in seed order so the float sums are bit-identical to the
+	// serial loop regardless of which worker finished first.
 	var trad, cdi ThroughputRow
 	trad.Arch, cdi.Arch = "traditional", "cdi"
-	const seeds = 5
-	for seed := int64(1); seed <= seeds; seed++ {
-		jobs := sched.WorkloadMix(40, 24, seed)
-		cmp, err := sched.Compare(jobs, 8, 24, 2, sched.Backfill)
-		if err != nil {
-			return nil, err
-		}
+	for _, cmp := range cmps {
 		trad.Makespan += cmp.Traditional.Makespan / seeds
 		cdi.Makespan += cmp.CDI.Makespan / seeds
 		trad.MeanWait += cmp.Traditional.MeanWait / seeds
@@ -400,22 +427,21 @@ func ChassisCoupling(o Options) ([]CouplingRow, error) {
 		{"intra-node", mpi.IntraNode()},
 		{"inter-node", mpi.InterNode()},
 	}
-	var rows []CouplingRow
-	for _, c := range cases {
+	return runner.Map(o.Jobs, len(cases), func(i int) (CouplingRow, error) {
+		c := cases[i]
 		r, err := cosmoflow.RunPerf(cosmoflow.PerfConfig{
 			GPUs: gpus, Epochs: o.CosmoEpochs,
 			TrainSamples: o.CosmoSamples * gpus, ValSamples: o.CosmoSamples,
 			Interconnect: c.cost,
 		})
 		if err != nil {
-			return nil, err
+			return CouplingRow{}, err
 		}
-		rows = append(rows, CouplingRow{
+		return CouplingRow{
 			Interconnect: c.name, GPUs: gpus,
 			Runtime: r.Runtime, StepTime: r.StepTime,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderChassisCoupling formats the comparison.
@@ -451,15 +477,24 @@ func PreloadComparison(o Options) ([]PreloadRow, error) {
 		size  = 1 << 11
 		slack = 1 * sim.Millisecond
 	)
-	base, err := proxy.Run(proxy.Config{MatrixSize: size, Iters: iters})
-	if err != nil {
-		return nil, err
-	}
-	full, err := proxy.Run(proxy.Config{MatrixSize: size, Iters: iters, Slack: slack})
-	if err != nil {
-		return nil, err
-	}
-	partial, err := runPreloadProxy(size, iters, slack)
+	var base, full, partial proxy.Result
+	err := runner.Go(o.Jobs,
+		func() error {
+			var err error
+			base, err = proxy.Run(proxy.Config{MatrixSize: size, Iters: iters})
+			return err
+		},
+		func() error {
+			var err error
+			full, err = proxy.Run(proxy.Config{MatrixSize: size, Iters: iters, Slack: slack})
+			return err
+		},
+		func() error {
+			var err error
+			partial, err = runPreloadProxy(size, iters, slack)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -561,25 +596,29 @@ func DeploymentScales(o Options) ([]ScaleRow, error) {
 		{fabric.RowScale, 0},
 		{fabric.ClusterScale, 20},
 	}
-	var rows []ScaleRow
-	var base sim.Duration
-	for _, c := range cases {
+	rows, err := runner.Map(o.Jobs, len(cases), func(i int) (ScaleRow, error) {
+		c := cases[i]
 		slackAmt := fabric.SlackForPath(fabric.Preset(c.scale, c.km))
 		r, err := lammps.RunPerf(lammps.PerfConfig{
 			BoxSize: 60, Procs: 8, Steps: o.LAMMPSSteps, Slack: slackAmt,
 		})
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
-		if c.scale == fabric.NodeLocal {
-			base = r.Runtime
-		}
-		rows = append(rows, ScaleRow{
-			Scale:    c.scale,
-			Slack:    slackAmt,
-			Runtime:  r.Runtime,
-			Overhead: float64(r.Runtime)/float64(base) - 1,
-		})
+		return ScaleRow{
+			Scale:   c.scale,
+			Slack:   slackAmt,
+			Runtime: r.Runtime,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// cases[0] is node-local, so the overhead column is a post-pass against
+	// the merged first row.
+	base := rows[0].Runtime
+	for i := range rows {
+		rows[i].Overhead = float64(rows[i].Runtime)/float64(base) - 1
 	}
 	return rows, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -92,15 +93,24 @@ type CongestionPoint struct {
 // hosts, each issuing transfers of msgBytes with thinkTime between them,
 // and reports how queueing inflates the nominal slack at each population.
 func CongestionSweep(hosts []int, msgBytes int64, thinkTime sim.Duration, latency sim.Duration, bandwidth float64, perHost int) ([]CongestionPoint, error) {
+	return CongestionSweepParallel(hosts, msgBytes, thinkTime, latency, bandwidth, perHost, 0)
+}
+
+// CongestionSweepParallel is CongestionSweep with an explicit worker bound
+// (non-positive = GOMAXPROCS, 1 = serial). Each host population runs in a
+// private simulation with its own seeded jitter stream, so results are
+// byte-identical for every jobs value.
+func CongestionSweepParallel(hosts []int, msgBytes int64, thinkTime sim.Duration, latency sim.Duration, bandwidth float64, perHost, jobs int) ([]CongestionPoint, error) {
 	if msgBytes <= 0 || perHost <= 0 {
 		return nil, fmt.Errorf("fabric: invalid congestion sweep (%d bytes × %d)", msgBytes, perHost)
 	}
-	var out []CongestionPoint
-	for _, h := range hosts {
+	return runner.Map(jobs, len(hosts), func(i int) (CongestionPoint, error) {
+		h := hosts[i]
 		if h <= 0 {
-			return nil, fmt.Errorf("fabric: non-positive host count %d", h)
+			return CongestionPoint{}, fmt.Errorf("fabric: non-positive host count %d", h)
 		}
 		env := sim.NewEnv()
+		defer env.Close()
 		link := NewSharedLink(env, latency, bandwidth, 1)
 		rng := rand.New(rand.NewSource(int64(h)))
 		for i := 0; i < h; i++ {
@@ -124,8 +134,6 @@ func CongestionSweep(hosts []int, msgBytes int64, thinkTime sim.Duration, latenc
 			MeanQueueing: link.MeanQueueing(),
 		}
 		pt.SlackInflation = float64(nominal+link.MeanQueueing()) / float64(nominal)
-		out = append(out, pt)
-		env.Close()
-	}
-	return out, nil
+		return pt, nil
+	})
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cuda"
 	"repro/internal/gpu"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/slack"
 	"repro/internal/trace"
@@ -325,30 +326,53 @@ type SweepPoint struct {
 // threads). Iters, when positive, overrides the 30-second sizing to keep
 // test and bench runtimes bounded.
 func Sweep(sizes, threads []int, slacks []sim.Duration, iters int) ([]SweepPoint, error) {
-	var out []SweepPoint
+	return SweepParallel(sizes, threads, slacks, iters, 0)
+}
+
+// SweepParallel is Sweep with an explicit worker bound: the (size,
+// threads) combinations fan out across jobs workers (non-positive =
+// GOMAXPROCS, 1 = the exact serial path), each combination running its
+// baseline and slack series inside a private simulation. Results merge in
+// grid order, so output is byte-identical for every jobs value.
+func SweepParallel(sizes, threads []int, slacks []sim.Duration, iters, jobs int) ([]SweepPoint, error) {
+	type combo struct{ n, t int }
+	var combos []combo
 	for _, n := range sizes {
 		for _, t := range threads {
-			base, err := Run(Config{MatrixSize: n, Threads: t, Iters: iters})
-			if errors.Is(err, ErrDoesNotFit) {
-				continue
-			}
+			combos = append(combos, combo{n, t})
+		}
+	}
+	groups, err := runner.Map(jobs, len(combos), func(i int) ([]SweepPoint, error) {
+		n, t := combos[i].n, combos[i].t
+		base, err := Run(Config{MatrixSize: n, Threads: t, Iters: iters})
+		if errors.Is(err, ErrDoesNotFit) {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		var pts []SweepPoint
+		for _, s := range slacks {
+			r, err := Run(Config{MatrixSize: n, Threads: t, Slack: s, Iters: iters})
 			if err != nil {
 				return nil, err
 			}
-			for _, s := range slacks {
-				r, err := Run(Config{MatrixSize: n, Threads: t, Slack: s, Iters: iters})
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, SweepPoint{
-					MatrixSize: n,
-					Threads:    t,
-					Slack:      s,
-					Result:     r,
-					Penalty:    Penalty(base, r),
-				})
-			}
+			pts = append(pts, SweepPoint{
+				MatrixSize: n,
+				Threads:    t,
+				Slack:      s,
+				Result:     r,
+				Penalty:    Penalty(base, r),
+			})
 		}
+		return pts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, g := range groups {
+		out = append(out, g...)
 	}
 	return out, nil
 }

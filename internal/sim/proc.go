@@ -20,6 +20,12 @@ type Proc struct {
 	waits    []*event // outstanding wake-ups while parked
 	finished bool
 	aborted  bool
+
+	// waitsBuf backs waits inline: a process has at most two outstanding
+	// wake-ups in every blocking primitive the package offers (a timer
+	// racing a signal in WaitTimeout), so the common case never allocates
+	// a separate waits array.
+	waitsBuf [2]*event
 }
 
 // Name returns the name the process was spawned with.

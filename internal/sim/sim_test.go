@@ -567,3 +567,58 @@ func TestPropertyResourceMakespan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEventFreelistRecycles: after warm-up, the schedule→Pop→deliver cycle
+// of a steadily ticking process reuses recycled events instead of
+// allocating — the hot-path property BenchmarkSimEngineEvents tracks.
+func TestEventFreelistRecycles(t *testing.T) {
+	env := NewEnv()
+	defer env.Close()
+	env.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Sleep(1 * Microsecond)
+		}
+	})
+	for i := 0; i < 100; i++ { // warm-up: start event, freelist priming
+		env.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		env.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestFreelistPreservesRacingWakeups: recycled events must not leak state
+// into the timer-vs-signal race that cancelled events resolve.
+func TestFreelistPreservesRacingWakeups(t *testing.T) {
+	env := NewEnv()
+	defer env.Close()
+	sig := NewSignal(env)
+	var timedOut, fired int
+	for i := 0; i < 50; i++ {
+		env.Spawn("waiter", func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				if err := sig.WaitTimeout(p, 2*Microsecond); err != nil {
+					timedOut++
+				} else {
+					fired++
+				}
+			}
+		})
+	}
+	env.Spawn("firer", func(p *Proc) {
+		for j := 0; j < 10; j++ {
+			p.Sleep(5 * Microsecond)
+			sig.Fire()
+		}
+	})
+	env.Run()
+	if timedOut == 0 || fired == 0 {
+		t.Fatalf("race did not exercise both outcomes: timeouts=%d fires=%d", timedOut, fired)
+	}
+	if got := timedOut + fired; got != 50*20 {
+		t.Fatalf("waits completed = %d, want %d", got, 1000)
+	}
+}

@@ -16,4 +16,7 @@ go test -race ./...
 echo "== cdivet ./..."
 go run ./cmd/cdivet ./...
 
+echo "== bench.sh --smoke"
+scripts/bench.sh --smoke
+
 echo "check.sh: all gates green"
