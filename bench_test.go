@@ -9,6 +9,7 @@ package cdi
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/cosmoflow"
 	"repro/internal/experiments"
 	"repro/internal/gpu"
@@ -400,6 +401,30 @@ func BenchmarkLAMMPSHybridStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := lammps.RunHybrid(lammps.HybridConfig{BoxSize: 4, Steps: 5, Seed: 1}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCdivetModule measures one full nine-analyzer pass — per-file
+// rules plus the module-wide dataflow layer (call graph, taint fixpoint,
+// wait-point propagation) — over the already-loaded module. Parsing and
+// type-checking run once outside the timed loop, as cdivet itself amortizes
+// them across analyzers; -benchmem makes allocation regressions in the
+// dataflow engine visible.
+func BenchmarkCdivetModule(b *testing.B) {
+	m, err := analysis.LoadModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings, err := analysis.RunModule(m, analysis.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("module not clean: %v", findings)
 		}
 	}
 }

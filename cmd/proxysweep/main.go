@@ -58,13 +58,17 @@ func main() {
 	}
 
 	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	w.Write([]string{
+	write := func(record []string) {
+		if err := w.Write(record); err != nil {
+			log.Fatal(err)
+		}
+	}
+	write([]string{
 		"matrix_size", "threads", "slack_us", "penalty",
 		"kernel_time_s", "iters", "loop_time_s", "corrected_time_s", "delayed_calls",
 	})
 	for _, pt := range pts {
-		w.Write([]string{
+		write([]string{
 			strconv.Itoa(pt.MatrixSize),
 			strconv.Itoa(pt.Threads),
 			fmt.Sprintf("%g", pt.Slack.Micros()),
@@ -75,6 +79,10 @@ func main() {
 			fmt.Sprintf("%g", pt.Result.CorrectedTime.Seconds()),
 			strconv.FormatInt(pt.Result.DelayedCalls, 10),
 		})
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -17,7 +17,17 @@
 //	barego      go statements outside the sim engine
 //	maporder    map iteration with order-dependent effects
 //	floateq     exact float ==/!= outside internal/stats helpers
-//	errdrop     silently discarded error returns in internal packages
+//	errdrop     silently discarded error returns in internal, cmd, examples
+//	taint       nondeterministic value reaching a result-emitting sink
+//	simunits    unitless literals / float64 round-trips in sim.Duration math
+//	waitlock    sync.Mutex held across a simulated wait point
+//
+// The first six are per-file syntactic/type checks. The last three run on a
+// module-wide dataflow layer (dataflow.go, callgraph.go): taint propagates
+// nondeterminism through assignments, returns, and cross-package calls and
+// reports only at sinks, so the sorted-keys idiom stays silent while a
+// map-order value laundered through a helper in another package is still
+// caught.
 //
 // Intentional exceptions are suppressed in source with a justified
 // directive on, or immediately above, the offending line:
@@ -42,7 +52,8 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation (or directive problem) at a position.
+// Finding is one rule violation (or directive problem) at a position. A
+// finding may carry a machine-applicable Fix (`cdivet -fix`).
 type Finding struct {
 	Rule    string         `json:"rule"`
 	Pos     token.Position `json:"-"`
@@ -50,6 +61,7 @@ type Finding struct {
 	Line    int            `json:"line"`
 	Col     int            `json:"col"`
 	Message string         `json:"message"`
+	Fix     *Fix           `json:"fix,omitempty"`
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -57,12 +69,15 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
 }
 
-// Analyzer is one determinism check. Run inspects the files of a Pass and
-// reports findings through it.
+// Analyzer is one determinism check. Per-package analyzers set Run, which
+// inspects the files of one Pass; module-wide analyzers set RunModule
+// instead and see every package of the module at once (the dataflow rules
+// need cross-package call summaries). Exactly one of the two is non-nil.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass presents one type-checked package variant (base files, in-package
@@ -85,15 +100,42 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	*p.findings = append(*p.findings, Finding{
-		Rule:    p.Analyzer.Name,
+	*p.findings = append(*p.findings, newFinding(p.Fset, p.Analyzer.Name, pos, nil, format, args...))
+}
+
+// ReportFixf records a finding at pos carrying a machine-applicable fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix *Fix, format string, args ...any) {
+	*p.findings = append(*p.findings, newFinding(p.Fset, p.Analyzer.Name, pos, fix, format, args...))
+}
+
+func newFinding(fset *token.FileSet, rule string, pos token.Pos, fix *Fix, format string, args ...any) Finding {
+	position := fset.Position(pos)
+	return Finding{
+		Rule:    rule,
 		Pos:     position,
 		File:    position.Filename,
 		Line:    position.Line,
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
-	})
+		Fix:     fix,
+	}
+}
+
+// ModulePass presents the whole loaded module to a module-wide analyzer.
+// Test files are outside the dataflow rules' scope: summaries and findings
+// cover base files only (tests assert on nondeterministic artifacts — their
+// own output — by design, and are gated by the determinism regression tests
+// instead).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*mp.findings = append(*mp.findings, newFinding(mp.Module.Fset, mp.Analyzer.Name, pos, nil, format, args...))
 }
 
 // IsTestFile reports whether f is a _test.go file.
@@ -110,6 +152,9 @@ func All() []*Analyzer {
 		MapOrder,
 		FloatEq,
 		ErrDrop,
+		Taint,
+		SimUnits,
+		WaitLock,
 	}
 }
 

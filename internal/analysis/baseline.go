@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// A baseline lets a new analyzer land strict-for-new-code: known findings
+// are recorded once (cdivet -write-baseline) and suppressed on later runs
+// (cdivet -baseline), so the gate only fails on findings introduced after
+// the baseline was cut. Entries are keyed by (rule, module-relative file,
+// message) — deliberately NOT by line, so unrelated edits above a baselined
+// finding don't resurrect it. Identical findings are counted: if a file
+// gains a second copy of a baselined finding, the new copy still fails.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+func baselineKey(rule, relFile, message string) string {
+	return rule + "\x00" + relFile + "\x00" + message
+}
+
+// NewBaseline records the given findings relative to the module root.
+func NewBaseline(findings []Finding, root string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, f := range findings {
+		rel := relURI(root, f.File)
+		k := baselineKey(f.Rule, rel, f.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{Rule: f.Rule, File: rel, Message: f.Message, Count: 1}
+		order = append(order, k)
+	}
+	b := &Baseline{Version: 1}
+	for _, k := range order {
+		b.Entries = append(b.Entries, *counts[k])
+	}
+	return b
+}
+
+// WriteBaseline saves the baseline as indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("analysis: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Filter drops findings covered by the baseline (respecting counts) and
+// returns the survivors plus the number suppressed.
+func (b *Baseline) Filter(findings []Finding, root string) ([]Finding, int) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		c := e.Count
+		if c <= 0 {
+			c = 1
+		}
+		budget[baselineKey(e.Rule, filepath.ToSlash(e.File), e.Message)] += c
+	}
+	var kept []Finding
+	suppressed := 0
+	for _, f := range findings {
+		k := baselineKey(f.Rule, relURI(root, f.File), f.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}
+
+// Stale returns baseline entries that no longer match any finding — the
+// signal to re-cut or hand-prune the baseline file.
+func (b *Baseline) Stale(findings []Finding, root string) []BaselineEntry {
+	live := map[string]int{}
+	for _, f := range findings {
+		live[baselineKey(f.Rule, relURI(root, f.File), f.Message)]++
+	}
+	var stale []BaselineEntry
+	for _, e := range b.Entries {
+		if live[baselineKey(e.Rule, filepath.ToSlash(e.File), e.Message)] == 0 {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// funcNode is one module function (or method) with a body, as seen by the
+// module-wide dataflow layer. Test files are excluded: the dataflow rules
+// gate model code, and tests assert on their own output by design.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	file *ast.File
+
+	// callees are the module-internal functions this body calls, in source
+	// order (deduplicated), so fixpoint iteration stays deterministic.
+	callees []*funcNode
+
+	// Dataflow summaries, computed to fixpoint by the analyzers.
+	returnsTaint string // non-empty: why any result is nondeterministic
+	retParams    uint64 // bitset: parameter flows to a return value
+	sinkParams   []bool // parameter flows to a result-emitting sink inside
+	mayWait      bool   // body may block on a simulated wait point
+}
+
+// callGraph indexes every module function with a body and its
+// module-internal call edges. Nodes are ordered (package path, file,
+// declaration position) so iteration is deterministic.
+type callGraph struct {
+	module *Module
+	nodes  []*funcNode
+	byObj  map[*types.Func]*funcNode
+}
+
+// buildCallGraph walks the base files of every package. It resolves call
+// expressions through each package's type info; calls through function
+// values or interfaces have no static callee and simply contribute no edge
+// (the dataflow layer is deliberately a may-analysis over static calls).
+func buildCallGraph(m *Module) *callGraph {
+	g := &callGraph{module: m, byObj: map[*types.Func]*funcNode{}}
+	for _, p := range m.Packages {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{obj: obj, decl: fd, pkg: p, file: f}
+				if params := obj.Type().(*types.Signature).Params(); params != nil {
+					n.sinkParams = make([]bool, params.Len())
+				}
+				g.nodes = append(g.nodes, n)
+				g.byObj[obj] = n
+			}
+		}
+	}
+	for _, n := range g.nodes {
+		seen := map[*funcNode]bool{}
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := g.calleeOf(n.pkg.Info, call); callee != nil && !seen[callee] {
+				seen[callee] = true
+				n.callees = append(n.callees, callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// calleeOf resolves a call expression to a module funcNode, or nil for
+// stdlib calls, dynamic calls, conversions, and builtins.
+func (g *callGraph) calleeOf(info *types.Info, call *ast.CallExpr) *funcNode {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return g.byObj[fn]
+}
+
+// simWaitPoint reports whether call blocks the calling process on simulated
+// virtual time: a method named Sleep/Yield/Wait/WaitTimeout/Acquire whose
+// receiver type lives in internal/sim (Proc, Signal, Resource, WaitGroup).
+func simWaitPoint(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if pkg := fn.Pkg(); pkg == nil || !strings.HasSuffix(pkg.Path(), "/internal/sim") {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Sleep", "Yield", "Wait", "WaitTimeout", "Acquire":
+		recv := sig.Recv().Type().String()
+		if i := strings.LastIndexByte(recv, '.'); i >= 0 {
+			recv = "sim." + recv[i+1:]
+		}
+		return recv + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// computeMayWait propagates "may block on a simulated wait point" up the
+// call graph to fixpoint. Direct waits are sim blocking methods and channel
+// operations (send, receive, select) in the body.
+func (g *callGraph) computeMayWait() {
+	for _, n := range g.nodes {
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.CallExpr:
+				if _, ok := simWaitPoint(n.pkg.Info, node); ok {
+					n.mayWait = true
+				}
+			case *ast.SendStmt, *ast.SelectStmt:
+				n.mayWait = true
+			case *ast.UnaryExpr:
+				if node.Op.String() == "<-" {
+					n.mayWait = true
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			if n.mayWait {
+				continue
+			}
+			for _, c := range n.callees {
+				if c.mayWait {
+					n.mayWait = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}

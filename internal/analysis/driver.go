@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"path/filepath"
 )
 
 // Config selects what to analyze.
@@ -44,6 +45,9 @@ func RunModule(m *Module, cfg Config) ([]Finding, error) {
 			return
 		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     m.Fset,
@@ -58,12 +62,14 @@ func RunModule(m *Module, cfg Config) ([]Finding, error) {
 	}
 
 	var dirFiles []*ast.File
+	matchedDirs := map[string]bool{}
 	matched := 0
 	for _, p := range m.Packages {
 		if !m.Match(p, cfg.Patterns) {
 			continue
 		}
 		matched++
+		matchedDirs[p.Dir] = true
 		runPass(p, p.Files, p.Types, p.Info)
 		runPass(p, p.TestFiles, p.TestTypes, p.TestInfo)
 		runPass(p, p.XTestFiles, p.XTypes, p.XInfo)
@@ -76,12 +82,29 @@ func RunModule(m *Module, cfg Config) ([]Finding, error) {
 		return nil, fmt.Errorf("analysis: no packages match %v; a typo here would silently gate nothing", cfg.Patterns)
 	}
 
+	// Module-wide analyzers see every package (cross-package dataflow needs
+	// the full call graph); their findings are then filtered to the matched
+	// packages so `cdivet ./internal/sim` reports on internal/sim only.
+	var moduleFindings []Finding
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Module: m, findings: &moduleFindings}
+		a.RunModule(mp)
+	}
+	for _, f := range moduleFindings {
+		if matchedDirs[filepath.Dir(f.File)] {
+			findings = append(findings, f)
+		}
+	}
+
 	enabled := map[string]bool{}
 	for _, a := range analyzers {
 		enabled[a.Name] = true
 	}
 	dirs := parseDirectives(m.Fset, dirFiles)
-	findings = applySuppression(findings, dirs, enabled)
+	findings = applySuppression(m.Fset, findings, dirs, enabled)
 	sortFindings(findings)
 	return findings, nil
 }

@@ -6,22 +6,24 @@ import (
 	"strings"
 )
 
-// ErrDrop flags statement-position calls in internal packages whose error
-// result vanishes. A swallowed error in a persistence or rendering path
-// turns a failed write into a silently truncated artifact — worse than a
-// crash for a reproduction whose whole output is regenerated files. The
-// rule covers plain expression statements only: `_ =` is visible intent,
-// and `defer f.Close()` is conventional cleanup. Calls to fmt's print
-// family and to the never-failing bytes.Buffer / strings.Builder writers
-// are exempt.
+// ErrDrop flags statement-position calls in internal, cmd, and examples
+// packages whose error result vanishes. A swallowed error in a persistence
+// or rendering path turns a failed write into a silently truncated artifact
+// — worse than a crash for a reproduction whose whole output is regenerated
+// files; in a cmd/ entry point it additionally turns a failed run into exit
+// status 0. The rule covers plain expression statements only: `_ =` is
+// visible intent, and `defer f.Close()` is conventional cleanup. Calls to
+// fmt's print family and to the never-failing bytes.Buffer /
+// strings.Builder writers are exempt.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "silently discarded error return in an internal package",
+	Doc:  "silently discarded error return in an internal, cmd, or examples package",
 	Run:  runErrDrop,
 }
 
 func runErrDrop(pass *Pass) {
-	if !strings.Contains(pass.Path+"/", "/internal/") {
+	p := pass.Path + "/"
+	if !strings.Contains(p, "/internal/") && !strings.Contains(p, "/cmd/") && !strings.Contains(p, "/examples/") {
 		return
 	}
 	for _, f := range pass.Files {

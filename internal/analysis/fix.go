@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// TextEdit is one byte-range replacement in a source file. Offsets are
+// 0-based byte offsets into the file as parsed ([Offset, End) is replaced
+// by Text); they are resolved from token positions at report time so a fix
+// can be applied without re-loading the module.
+type TextEdit struct {
+	File   string `json:"file"`
+	Offset int    `json:"offset"`
+	End    int    `json:"end"`
+	Text   string `json:"text"`
+}
+
+// Fix is a machine-applicable correction attached to a Finding. All edits
+// of one fix are applied atomically or not at all.
+type Fix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Fixed maps each touched file to its post-fix content.
+	Fixed map[string][]byte
+	// Applied counts the findings whose fix was applied.
+	Applied int
+	// Skipped lists findings whose fix conflicted with an earlier one (the
+	// earlier fix wins; re-run after applying to pick these up).
+	Skipped []Finding
+}
+
+// ApplyFixes computes the result of applying every non-conflicting fix
+// carried by the findings. Files are read from disk; nothing is written —
+// the caller decides between rewriting files (cdivet -fix) and rendering
+// diffs (cdivet -fix -diff). Fixes are considered in finding order; a fix
+// any of whose edits overlaps an already-accepted edit in the same file is
+// skipped whole.
+func ApplyFixes(findings []Finding) (*FixResult, error) {
+	res := &FixResult{Fixed: map[string][]byte{}}
+	accepted := map[string][]TextEdit{}
+
+	for _, f := range findings {
+		if f.Fix == nil || len(f.Fix.Edits) == 0 {
+			continue
+		}
+		ok := true
+		for _, e := range f.Fix.Edits {
+			if e.Offset > e.End {
+				ok = false
+				break
+			}
+			for _, prev := range accepted[e.File] {
+				if e.Offset < prev.End && prev.Offset < e.End {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			res.Skipped = append(res.Skipped, f)
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			accepted[e.File] = append(accepted[e.File], e)
+		}
+		res.Applied++
+	}
+
+	files := make([]string, 0, len(accepted))
+	for file := range accepted { //cdivet:allow maporder keys are collected unordered and sorted on the next line
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		fixed, err := applyEdits(src, accepted[file])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", file, err)
+		}
+		res.Fixed[file] = fixed
+	}
+	return res, nil
+}
+
+// applyEdits applies non-overlapping edits to src, back to front so earlier
+// offsets stay valid.
+func applyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sorted := append([]TextEdit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset > sorted[j].Offset })
+	out := append([]byte(nil), src...)
+	for _, e := range sorted {
+		if e.End > len(out) {
+			return nil, fmt.Errorf("edit [%d,%d) past end of %d-byte file", e.Offset, e.End, len(out))
+		}
+		out = append(out[:e.Offset], append([]byte(e.Text), out[e.End:]...)...)
+	}
+	return out, nil
+}
+
+// UnifiedDiff renders a unified diff between old and new file contents
+// under the conventional a/ b/ header paths. It returns "" when the
+// contents are identical. The hunk computation is a plain LCS over lines —
+// fine for source files, and dependency-free.
+func UnifiedDiff(aPath, bPath string, oldSrc, newSrc []byte) string {
+	if string(oldSrc) == string(newSrc) {
+		return ""
+	}
+	a := splitLines(oldSrc)
+	b := splitLines(newSrc)
+	ops := diffOps(a, b)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", aPath, bPath)
+
+	// Group changed ops into hunks: changes separated by at most 2*ctx
+	// equal lines share a hunk, and each hunk carries ctx lines of context.
+	const ctx = 3
+	var hunks [][2]int
+	for i := 0; i < len(ops); {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		start := max(i-ctx, 0)
+		last := i
+		j := i + 1
+		for j < len(ops) {
+			if ops[j].kind != opEqual {
+				last = j
+				j++
+				continue
+			}
+			k := j
+			for k < len(ops) && ops[k].kind == opEqual {
+				k++
+			}
+			if k < len(ops) && k-j <= 2*ctx {
+				j = k
+				continue
+			}
+			break
+		}
+		hunks = append(hunks, [2]int{start, min(last+ctx+1, len(ops))})
+		i = j
+	}
+
+	for _, h := range hunks {
+		start, stop := h[0], h[1]
+		aStart, bStart, aCount, bCount := 0, 0, 0, 0
+		for _, op := range ops[:start] {
+			if op.kind != opInsert {
+				aStart++
+			}
+			if op.kind != opDelete {
+				bStart++
+			}
+		}
+		for _, op := range ops[start:stop] {
+			if op.kind != opInsert {
+				aCount++
+			}
+			if op.kind != opDelete {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		for _, op := range ops[start:stop] {
+			switch op.kind {
+			case opEqual:
+				sb.WriteString(" " + op.text + "\n")
+			case opDelete:
+				sb.WriteString("-" + op.text + "\n")
+			case opInsert:
+				sb.WriteString("+" + op.text + "\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+const (
+	opEqual = iota
+	opDelete
+	opInsert
+)
+
+type diffOp struct {
+	kind int
+	text string
+}
+
+func splitLines(src []byte) []string {
+	s := string(src)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// diffOps computes an edit script via dynamic-programming LCS.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opEqual, a[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDelete, a[i]})
+			i++
+		default:
+			ops = append(ops, diffOp{opInsert, b[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDelete, a[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opInsert, b[j]})
+	}
+	return ops
+}

@@ -291,26 +291,52 @@ func (m *Module) topoSort(byPath map[string]*Package) ([]*Package, error) {
 	return order, nil
 }
 
-// LoadDirAs parses and type-checks a single directory as a standalone
-// package under the given synthetic import path. It is how the testdata
-// corpora are loaded: corpus files import only the standard library, and
-// the synthetic path lets a corpus exercise path-scoped rules (e.g. a
-// "repro/internal/..." path for barego and errdrop).
+// LoadDirAs parses and type-checks a directory tree as a standalone module
+// rooted at the given synthetic import path. It is how the testdata corpora
+// are loaded: corpus files import only the standard library (or each other,
+// via the synthetic path), and the synthetic path lets a corpus exercise
+// path-scoped rules (e.g. a "repro/internal/..." path for barego and
+// errdrop). Subdirectories become subpackages — "<asPath>/<rel>" — so a
+// corpus can model cross-package dataflow.
 func LoadDirAs(dir, asPath string) (*Module, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
 	m := &Module{Root: abs, Path: asPath, Fset: token.NewFileSet()}
-	pkg, err := m.parseDir(abs)
+
+	var dirs []string
+	err = filepath.Walk(abs, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !fi.IsDir() {
+			return nil
+		}
+		base := fi.Name()
+		if p != abs && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, p)
+		return nil
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("analysis: walking %s: %w", abs, err)
 	}
-	if pkg == nil {
+	sort.Strings(dirs)
+
+	for _, d := range dirs {
+		pkg, err := m.parseDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			m.Packages = append(m.Packages, pkg)
+		}
+	}
+	if len(m.Packages) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	pkg.Path = asPath
-	m.Packages = []*Package{pkg}
 	if err := m.typecheck(); err != nil {
 		return nil, err
 	}

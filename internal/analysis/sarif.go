@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the interchange format GitHub code scanning and most
+// editors ingest. The structures cover exactly the subset cdivet emits;
+// field order follows the struct definitions, so output is deterministic.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifMessage         `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifact      `json:"artifactLocation"`
+	Replacements     []sarifReplacement `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifCharRegion `json:"deletedRegion"`
+	InsertedContent sarifMessage    `json:"insertedContent"`
+}
+
+type sarifCharRegion struct {
+	CharOffset int `json:"charOffset"`
+	CharLength int `json:"charLength"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 log. File URIs (and fix
+// artifact locations) are made relative to root so the log is stable across
+// checkouts; findings outside root keep their absolute path.
+func WriteSARIF(w io.Writer, findings []Finding, root string) error {
+	rules := []sarifRule{}
+	seen := map[string]bool{}
+	for _, a := range All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		seen[a.Name] = true
+	}
+	if !seen[DirectiveRule] {
+		rules = append(rules, sarifRule{ID: DirectiveRule, ShortDescription: sarifMessage{Text: "problems with //cdivet:allow suppression directives"}})
+	}
+
+	results := []sarifResult{}
+	for _, f := range findings {
+		r := sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relURI(root, f.File)},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		if f.Fix != nil && len(f.Fix.Edits) > 0 {
+			byFile := map[string][]sarifReplacement{}
+			var order []string
+			for _, e := range f.Fix.Edits {
+				uri := relURI(root, e.File)
+				if _, ok := byFile[uri]; !ok {
+					order = append(order, uri)
+				}
+				byFile[uri] = append(byFile[uri], sarifReplacement{
+					DeletedRegion:   sarifCharRegion{CharOffset: e.Offset, CharLength: e.End - e.Offset},
+					InsertedContent: sarifMessage{Text: e.Text},
+				})
+			}
+			fix := sarifFix{Description: sarifMessage{Text: f.Fix.Message}}
+			for _, uri := range order {
+				fix.ArtifactChanges = append(fix.ArtifactChanges, sarifArtifactChange{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Replacements:     byFile[uri],
+				})
+			}
+			r.Fixes = []sarifFix{fix}
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "cdivet", InformationURI: "https://example.invalid/repro/cdivet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relURI renders path relative to root with forward slashes.
+func relURI(root, path string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(path)
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SimUnits type-checks the units of sim.Duration arithmetic. sim.Duration
+// is float64 *seconds*; the paper's claims live at microsecond scale, so
+// the two classic slips are (a) a raw numeric literal used as a Duration —
+// `p.Sleep(5)` is five SECONDS, almost never what a µs-scale model means —
+// and (b) re-wrapping a unit-projected float, `sim.Duration(d.Micros())`,
+// which silently reinterprets a microsecond count as seconds (a 1e6×
+// error on a scheduling path).
+//
+// Legal forms: a literal times a unit constant (100 * sim.Microsecond), any
+// named Duration constant, the zero literal, and constants used as scalar
+// factors (d * 2, d / 10 — the other operand carries the unit). Test files
+// are exempt (they assert on raw values), and internal/sim itself is exempt
+// as the package that defines the unit constants from raw literals.
+var SimUnits = &Analyzer{
+	Name: "simunits",
+	Doc:  "raw numeric literal as sim.Duration (seconds!) or float64 unit round-trip (sim.Duration(d.Micros())) on a scheduling path",
+	Run:  runSimUnits,
+}
+
+func runSimUnits(pass *Pass) {
+	if strings.HasSuffix(pass.Path, "/internal/sim") {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		runSimUnitsFile(pass, f)
+	}
+}
+
+func runSimUnitsFile(pass *Pass, f *ast.File) {
+	// Round-trip check: sim.Duration(x) where x projects a Duration into a
+	// scaled float64.
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if unit := roundTripUnit(pass.Info, call); unit != "" {
+				pass.Reportf(call.Pos(), "sim.Duration(x.%s()) reinterprets a %s count as seconds; keep the value a sim.Duration (or divide by the unit explicitly)", unit, unitName(unit))
+			}
+		}
+		return true
+	})
+
+	// Raw-literal check: flag maximal constant sim.Duration expressions
+	// whose syntax carries no unit identifier.
+	for _, decl := range f.Decls {
+		checkRawLiterals(pass, decl)
+	}
+}
+
+// checkRawLiterals walks one declaration flagging constant Duration
+// expressions built purely from literals.
+func checkRawLiterals(pass *Pass, root ast.Node) {
+	var walk func(e ast.Node, scalarOperand bool)
+	walk = func(n ast.Node, scalarOperand bool) {
+		if n == nil {
+			return
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if isConstDuration(pass.Info, e) {
+				if !scalarOperand && !mentionsDurationConst(pass.Info, e) && !isZeroConst(pass.Info, e) {
+					pass.Reportf(e.Pos(), "raw numeric literal used as sim.Duration is interpreted as SECONDS; write it with an explicit unit (e.g. 100*sim.Microsecond)")
+				}
+				return // don't descend into a constant subtree
+			}
+			if bin, ok := e.(*ast.BinaryExpr); ok && (bin.Op == token.MUL || bin.Op == token.QUO) {
+				walk(bin.X, true)
+				walk(bin.Y, true)
+				return
+			}
+		}
+		// Generic descent in source order.
+		var children []ast.Node
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				children = append(children, c)
+			}
+			return false
+		})
+		for _, c := range children {
+			walk(c, false)
+		}
+	}
+	walk(root, false)
+}
+
+// isConstDuration reports whether e is a compile-time constant whose type
+// is sim.Duration.
+func isConstDuration(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() == constant.Unknown {
+		return false
+	}
+	return isSimDuration(tv.Type)
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	return v == 0
+}
+
+// mentionsDurationConst reports whether the expression's syntax references
+// any named constant of type sim.Duration — a unit (sim.Microsecond) or a
+// derived named span (lammps.CtxSwitch). Such expressions carry their unit
+// in the source.
+func mentionsDurationConst(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if c, ok := obj.(*types.Const); ok && isSimDuration(c.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSimDuration matches the named type Duration from any .../internal/sim
+// package (the corpus uses a synthetic module path).
+func isSimDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Duration" || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "/internal/sim")
+}
+
+// roundTripUnit detects sim.Duration(expr-containing-d.Micros()/d.Millis())
+// and returns the projecting method name.
+func roundTripUnit(info *types.Info, call *ast.CallExpr) string {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isSimDuration(tv.Type) || len(call.Args) != 1 {
+		return ""
+	}
+	unit := ""
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if unit != "" {
+			return false
+		}
+		inner, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !isSimDuration(sig.Recv().Type()) {
+			return true
+		}
+		if fn.Name() == "Micros" || fn.Name() == "Millis" {
+			unit = fn.Name()
+			return false
+		}
+		return true
+	})
+	return unit
+}
+
+func unitName(method string) string {
+	switch method {
+	case "Micros":
+		return "microsecond"
+	case "Millis":
+		return "millisecond"
+	}
+	return method
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import "go/token"
+
+// Taint is the module-wide nondeterminism dataflow rule. Values originating
+// from map iteration order, the wall clock, or unseeded global randomness
+// are propagated through assignments, returns, and cross-package calls, and
+// reported only where they reach a result-emitting sink: a print/write/
+// encode call, a channel send, or sim event scheduling. This closes both
+// gaps of per-file checking: a map-order value returned from one package
+// and emitted in another is caught, while a map range whose output is
+// sorted before use stays silent.
+var Taint = &Analyzer{
+	Name:      "taint",
+	Doc:       "nondeterministic value (map order, wall clock, unseeded rand) reaching a result-emitting sink",
+	RunModule: runTaint,
+}
+
+func runTaint(mp *ModulePass) {
+	g := buildCallGraph(mp.Module)
+
+	// Summary fixpoint: re-derive (returnsTaint, retParams, sinkParams) for
+	// every function until stable. Convergence is fast in practice; the
+	// round cap is a guard against pathological reason-string oscillation.
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, n := range g.nodes {
+			returns, retParams, sinkBits := analyzeFunc(g, n, nil)
+			sinkParams := bitsToBools(sinkBits, len(n.sinkParams))
+			if returns != n.returnsTaint || retParams != n.retParams || !equalBools(sinkParams, n.sinkParams) {
+				changed = true
+			}
+			n.returnsTaint, n.retParams = returns, retParams
+			n.sinkParams = sinkParams
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Reporting pass with converged summaries.
+	for _, n := range g.nodes {
+		n := n
+		analyzeFunc(g, n, func(pos token.Pos, reason, sink string) {
+			mp.Reportf(pos, "value derived from %s reaches result-emitting sink %s; make the value deterministic (sort keys, use seeded streams, use sim virtual time) before it is emitted", reason, sink)
+		})
+	}
+}
+
+func bitsToBools(bits uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n && i < 64; i++ {
+		out[i] = bits&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,21 @@
+package corpus
+
+import "sort"
+
+// Clean has a leftover directive: the call it suppressed is gone, so the
+// fixer deletes the line.
+func Clean() int {
+	//cdivet:allow seededrand this call was removed
+	return 4
+}
+
+// Looped has a justified suppression written with sloppy spacing: the fixer
+// normalizes it in place.
+func Looped(m map[int]int) []int {
+	var out []int
+	for k := range m { //cdivet:allow   maporder   collected then sorted below
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,21 @@
+// Package corpus holds mechanically fixable violations: cdivet -fix must
+// rewrite this file into the committed golden, and the result must
+// re-analyze clean.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EmitAll prints every entry of the table in map order.
+func EmitAll(table map[string]int) {
+	for name, count := range table {
+		fmt.Println(name, count)
+	}
+}
+
+// Jitter draws from the global stream even though a seeded one is in scope.
+func Jitter(r *rand.Rand) int {
+	return r.Intn(3) + rand.Intn(3)
+}

@@ -1,0 +1,27 @@
+// Package sim is a corpus stand-in for the real engine: just enough of the
+// Duration API for the simunits rule to type-check against. The package
+// itself is exempt from the rule — defining units from raw literals is its
+// job.
+package sim
+
+// Duration is a span of virtual time in float64 seconds.
+type Duration float64
+
+const (
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+)
+
+// Micros returns d expressed in microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e-6 }
+
+// Millis returns d expressed in milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e-3 }
+
+// Proc is a minimal process handle with the blocking method the corpus
+// schedules against.
+type Proc struct{}
+
+// Sleep parks the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {}

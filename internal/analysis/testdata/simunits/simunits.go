@@ -1,0 +1,46 @@
+// Package corpus exercises the sim-time unit checker: sim.Duration is
+// float64 SECONDS, so a raw literal Duration is almost always a µs-scale
+// value off by 1e6, and re-wrapping a projected float (sim.Duration of
+// d.Micros()) is the same bug in reverse.
+package corpus
+
+import sim "repro/internal/corpus/internal/sim"
+
+// NamedSpan carries its unit in the source: legal.
+const NamedSpan = 250 * sim.Microsecond
+
+// RawConst is a raw literal Duration: five SECONDS, not five of anything
+// micro.
+const RawConst sim.Duration = 5 // want
+
+func Sleeps(p *sim.Proc, d sim.Duration) {
+	p.Sleep(5)                     // want
+	p.Sleep(100 * sim.Microsecond) // explicit unit: legal
+	p.Sleep(NamedSpan)             // named Duration constant: legal
+	p.Sleep(0)                     // zero has no unit: legal
+	p.Sleep(d * 2)                 // scalar factor: d carries the unit
+	p.Sleep(d / 10)                // scalar divisor: likewise
+	p.Sleep(2 * sim.Millisecond / 4)
+}
+
+// RoundTrip re-wraps a microsecond count as seconds: a 1e6x error.
+func RoundTrip(d sim.Duration) sim.Duration {
+	return sim.Duration(d.Micros()) // want
+}
+
+// RoundTripMillis is the millisecond variant.
+func RoundTripMillis(d sim.Duration) sim.Duration {
+	half := sim.Duration(d.Millis() / 2) // want
+	return half
+}
+
+// ScaleSeconds converts a genuine seconds quantity: legal, no projection in
+// the operand.
+func ScaleSeconds(seconds float64) sim.Duration {
+	return sim.Duration(seconds)
+}
+
+// Arithmetic on existing durations carries units implicitly: legal.
+func Mean(a, b sim.Duration) sim.Duration {
+	return (a + b) / 2
+}

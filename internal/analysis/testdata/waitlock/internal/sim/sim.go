@@ -1,0 +1,19 @@
+// Package sim is a corpus stand-in exposing the blocking primitives the
+// waitlock rule recognizes. The package itself is exempt — its channel
+// handoffs ARE the engine.
+package sim
+
+// Duration is a span of virtual time in float64 seconds.
+type Duration float64
+
+// Proc is a minimal process handle.
+type Proc struct{}
+
+// Sleep parks the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {}
+
+// Signal is a minimal broadcast primitive.
+type Signal struct{}
+
+// Wait parks the process until the signal fires.
+func (s *Signal) Wait(p *Proc) {}

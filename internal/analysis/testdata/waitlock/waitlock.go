@@ -1,0 +1,91 @@
+// Package corpus exercises the wait-point lock rule: a real sync lock held
+// while the process parks in virtual time starves the scheduler.
+package corpus
+
+import (
+	"sync"
+
+	sim "repro/internal/corpus/internal/sim"
+)
+
+type shared struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// SleepUnderLock parks while holding the mutex: the classic deadlock.
+func SleepUnderLock(s *shared, p *sim.Proc, d sim.Duration) {
+	s.mu.Lock()
+	s.n++
+	p.Sleep(d) // want
+	s.mu.Unlock()
+}
+
+// SleepUnderDeferredUnlock holds to the end of the function, so the park is
+// still inside the critical section.
+func SleepUnderDeferredUnlock(s *shared, p *sim.Proc, d sim.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.Sleep(d) // want
+}
+
+// WaitUnderRLock parks on a signal while holding a read lock.
+func WaitUnderRLock(s *shared, p *sim.Proc, sig *sim.Signal) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	sig.Wait(p) // want
+}
+
+// ReceiveUnderLock blocks on a channel handoff inside the critical section.
+func ReceiveUnderLock(s *shared, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = <-ch // want
+}
+
+// SendUnderLock blocks on the other side of the handoff.
+func SendUnderLock(s *shared, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- s.n // want
+}
+
+// CallWaiterUnderLock reaches a wait point only transitively, through the
+// call graph.
+func CallWaiterUnderLock(s *shared, p *sim.Proc, d sim.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pause(p, d) // want
+}
+
+// pause is the transitive waiter: clean by itself (no lock held here).
+func pause(p *sim.Proc, d sim.Duration) {
+	p.Sleep(d)
+}
+
+// ReleaseBeforeSleep is the correct shape: the lock is dropped before the
+// park.
+func ReleaseBeforeSleep(s *shared, p *sim.Proc, d sim.Duration) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	p.Sleep(d)
+}
+
+// PureCritical never waits inside the critical section.
+func PureCritical(s *shared) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.n
+}
+
+// SpawnedLiteral is clean at this body: the literal's channel receive runs
+// on another process, not under this stack's lock.
+func SpawnedLiteral(s *shared, ch chan int) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return func() { s.n = <-ch }
+}

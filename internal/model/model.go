@@ -220,25 +220,39 @@ func (s *Surface) BinTransferSizes(bytes []float64) Binned {
 // spComponent applies Equation 3 to one Binned mapping: the element-
 // weighted mean of per-size penalties. Sizes rounded up give the lower
 // bound, sizes rounded down the (pessimistic) upper bound.
+// Both sums run over sorted sizes: float addition is not associative, so
+// summing in map order would make the last bits of every published penalty
+// depend on Go's randomized iteration order (cdivet's taint rule traces
+// exactly this value into the result tables).
 func (s *Surface) spComponent(b Binned, threads int, slack sim.Duration) (lower, upper float64, err error) {
 	if b.Total == 0 {
 		return 0, 0, nil
 	}
-	for size, count := range b.RoundedUp {
+	for _, size := range sortedSizes(b.RoundedUp) {
 		p, err := s.Penalty(size, threads, slack)
 		if err != nil {
 			return 0, 0, err
 		}
-		lower += p * float64(count) / float64(b.Total)
+		lower += p * float64(b.RoundedUp[size]) / float64(b.Total)
 	}
-	for size, count := range b.RoundedDown {
+	for _, size := range sortedSizes(b.RoundedDown) {
 		p, err := s.Penalty(size, threads, slack)
 		if err != nil {
 			return 0, 0, err
 		}
-		upper += p * float64(count) / float64(b.Total)
+		upper += p * float64(b.RoundedDown[size]) / float64(b.Total)
 	}
 	return lower, upper, nil
+}
+
+// sortedSizes returns the bin sizes of a Binned mapping in ascending order.
+func sortedSizes(m map[int]int) []int {
+	sizes := make([]int, 0, len(m))
+	for size := range m { //cdivet:allow maporder keys are collected unordered and sorted on the next line
+		sizes = append(sizes, size)
+	}
+	sort.Ints(sizes)
+	return sizes
 }
 
 // AppProfile is the per-application characterization extracted from a

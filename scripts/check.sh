@@ -14,7 +14,10 @@ echo "== go test -race ./..."
 go test -race ./...
 
 echo "== cdivet ./..."
-go run ./cmd/cdivet ./...
+go run ./cmd/cdivet -sarif cdivet.sarif ./...
+
+echo "== cdivet -directives ./..."
+go run ./cmd/cdivet -directives ./...
 
 echo "== bench.sh --smoke"
 scripts/bench.sh --smoke
