@@ -1,0 +1,18 @@
+package analysis
+
+import "testing"
+
+func TestReviewWaitlockFuncLit(t *testing.T) {
+	m, err := LoadDirAs("/tmp/wl", "corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(m, Config{Patterns: []string{"./..."}, Analyzers: []*Analyzer{WaitLock}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Logf("%s", f)
+	}
+	t.Logf("count=%d", len(findings))
+}
