@@ -12,10 +12,13 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cosmoflow"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/lammps"
 	"repro/internal/mpi"
 	"repro/internal/proxy"
+	"repro/internal/remoting"
 	"repro/internal/sim"
 )
 
@@ -436,6 +439,57 @@ func BenchmarkCosmoFlowPerfStep(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRemotingFaultPath exercises the resilient transport's recovery
+// hot path: a lossy fabric forces timeouts, deterministic backoff retries,
+// and at least one crash-driven failover with state re-upload per run.
+func BenchmarkRemotingFaultPath(b *testing.B) {
+	path, err := fabric.PathForSlack(20 * sim.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := remoting.ResilientConfig{
+		Config:   remoting.Config{Path: path, Seed: 11},
+		Faults:   faults.Config{Seed: 11, DropProbability: 0.3, CrashAfter: 20 * sim.Millisecond},
+		Standbys: 1,
+	}
+	matBytes := gpu.MatrixBytes(64)
+	kernel := gpu.MatMul(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		r, err := remoting.NewResilient(env, gpu.A100(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var runErr error
+		env.Spawn("host", func(p *sim.Proc) {
+			var bufs [3]gpu.Ptr
+			for j := range bufs {
+				h, err := r.Malloc(p, matBytes)
+				if err != nil {
+					runErr = err
+					return
+				}
+				bufs[j] = h
+			}
+			for j := 0; j < 20; j++ {
+				if _, err := r.RunProxyIteration(p, bufs[0], bufs[1], bufs[2], matBytes, kernel); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		env.Run()
+		env.Close()
+		if runErr != nil {
+			b.Fatal(runErr)
+		}
+		if r.Stats().Retries == 0 {
+			b.Fatal("fault path not exercised: no retries")
 		}
 	}
 }

@@ -9,7 +9,7 @@
 //
 // Paper experiments: table1 figure2 threads cfcpu table2 figure3 figure4
 // figure5 table3 table4 validate compose.
-// Extensions: appvalidate congestion remoting weak reach throughput coupling preload scales.
+// Extensions: appvalidate congestion remoting resilience weak reach throughput coupling preload scales.
 // "all" runs everything.
 package main
 
@@ -29,7 +29,7 @@ var experimentIDs = []string{
 	"table1", "figure2", "threads", "cfcpu", "table2", "figure3",
 	"figure4", "figure5", "table3", "table4", "validate", "compose",
 	"appvalidate", "scales", "preload", "congestion", "remoting",
-	"weak", "coupling", "throughput", "reach",
+	"resilience", "weak", "coupling", "throughput", "reach",
 }
 
 func main() {
@@ -161,6 +161,11 @@ func main() {
 		results, err := experiments.RemotingComparison(opts)
 		check(err)
 		fmt.Print(experiments.RenderRemoting(results))
+	}
+	if section("resilience") {
+		rows, err := experiments.Resilience(opts)
+		check(err)
+		fmt.Print(experiments.RenderResilience(rows))
 	}
 	if section("weak") {
 		rows, err := experiments.WeakScaling(opts)

@@ -5,14 +5,17 @@ import (
 	"go/types"
 )
 
-// seededRandAllowed are the math/rand package-level names that construct
-// explicit streams — the only sanctioned way to get randomness here, e.g.
-// internal/sched/sched.go and internal/fabric/congestion.go's
-// rand.New(rand.NewSource(seed)) idiom.
+// seededRandAllowed are the math/rand and math/rand/v2 package-level names
+// that construct explicit streams — the only sanctioned way to get
+// randomness here, e.g. internal/sched/sched.go's
+// rand.New(rand.NewSource(seed)) idiom and internal/faults' salted
+// rand.New(rand.NewPCG(seed, salt)) substreams.
 var seededRandAllowed = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
 }
 
 // SeededRand flags the global math/rand functions (rand.Intn, rand.Float64,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cuda"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/horovod"
 	"repro/internal/mpi"
@@ -62,6 +63,10 @@ type PerfConfig struct {
 	Spec gpu.Spec
 	// Slack is injected after every link-crossing CUDA call (0 = none).
 	Slack sim.Duration
+	// Faults, when non-nil, charges deterministic fault-recovery delays
+	// (timeouts, retries, failover) after link-crossing calls on every
+	// worker; the caller keeps the pointer and reads its Stats afterwards.
+	Faults *faults.CallInjector
 	// Record attaches an NSys-style recorder (worker 0's device).
 	Record bool
 	// Interconnect is the GPU-to-GPU cost model for gradient allreduce.
@@ -208,6 +213,9 @@ func RunPerf(cfg PerfConfig) (PerfResult, error) {
 			ctxs[i].Interpose(rec)
 		}
 		ctxs[i].Interpose(injs[i])
+		if cfg.Faults != nil {
+			ctxs[i].Interpose(cfg.Faults)
+		}
 	}
 
 	interconnect := cfg.Interconnect

@@ -110,6 +110,11 @@ type Context struct {
 // ErrInvalidValue mirrors cudaErrorInvalidValue for size/pointer misuse.
 var ErrInvalidValue = errors.New("cuda: invalid value")
 
+// ErrDeviceLost mirrors cudaErrorDeviceLost: the physical device behind
+// the context disappeared (GPU-server crash, failover abandoning the old
+// chassis). Every error-returning call on a lost context reports it.
+var ErrDeviceLost = errors.New("cuda: device lost")
+
 // NewContext creates a context on dev with the given config.
 func NewContext(dev *gpu.Device, cfg Config) *Context {
 	ov := cfg.CallOverhead
@@ -151,8 +156,19 @@ func (c *Context) defaultStream() *gpu.Stream {
 	return c.defaultStrm
 }
 
+// checkLost fails calls against a device that has been marked lost.
+func (c *Context) checkLost() error {
+	if c.dev.Lost() {
+		return fmt.Errorf("%w: device %s", ErrDeviceLost, c.dev.Spec().Name)
+	}
+	return nil
+}
+
 // Malloc reserves n bytes of device memory.
 func (c *Context) Malloc(p *sim.Proc, n int64) (gpu.Ptr, error) {
+	if err := c.checkLost(); err != nil {
+		return 0, err
+	}
 	var ptr gpu.Ptr
 	var err error
 	c.call(p, CallInfo{Name: "cudaMalloc", Class: ClassMemory, Bytes: n}, func() {
@@ -163,6 +179,9 @@ func (c *Context) Malloc(p *sim.Proc, n int64) (gpu.Ptr, error) {
 
 // Free releases device memory.
 func (c *Context) Free(p *sim.Proc, ptr gpu.Ptr) error {
+	if err := c.checkLost(); err != nil {
+		return err
+	}
 	var err error
 	c.call(p, CallInfo{Name: "cudaFree", Class: ClassMemory}, func() {
 		err = c.dev.Free(ptr)
@@ -182,6 +201,9 @@ func (c *Context) MustFree(p *sim.Proc, ptr gpu.Ptr) {
 
 // checkCopy validates a transfer against the allocation it targets.
 func (c *Context) checkCopy(ptr gpu.Ptr, n int64) error {
+	if err := c.checkLost(); err != nil {
+		return err
+	}
 	if n < 0 {
 		return fmt.Errorf("%w: negative copy size %d", ErrInvalidValue, n)
 	}

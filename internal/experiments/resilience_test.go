@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderResilienceOnce(t *testing.T, jobs int) string {
+	t.Helper()
+	o := tiny()
+	o.Jobs = jobs
+	rows, err := Resilience(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RenderResilience(rows)
+}
+
+// Same seed twice, and serial vs 8 workers, must render byte-identically:
+// every fault is drawn from a seeded schedule owned by its grid cell.
+func TestResilienceByteIdenticalAcrossRunsAndWorkers(t *testing.T) {
+	serial := renderResilienceOnce(t, 1)
+	again := renderResilienceOnce(t, 1)
+	if serial != again {
+		t.Fatalf("two identically seeded resilience runs diverged\nfirst:\n%s\nsecond:\n%s", serial, again)
+	}
+	wide := renderResilienceOnce(t, 8)
+	if serial != wide {
+		t.Fatalf("-j 1 and -j 8 resilience runs diverged\nserial:\n%s\nwide:\n%s", serial, wide)
+	}
+	if serial == "" || !strings.Contains(serial, "proxy") {
+		t.Fatalf("resilience rendered unexpectedly:\n%s", serial)
+	}
+}
+
+func TestResilienceZeroIntensityMatchesFaultFree(t *testing.T) {
+	rows, err := Resilience(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 3 * len(resilienceSlacks) * len(resilienceIntensities)
+	if len(rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(rows), wantRows)
+	}
+	for _, r := range rows {
+		if r.Intensity == 0 {
+			// Zero intensity IS the fault-free run: identical computation,
+			// so exact equality is required, and no policy action fires.
+			if r.Penalty != r.FaultFree {
+				t.Errorf("%s @ %v: zero-intensity penalty %v != fault-free %v",
+					r.App, r.Slack, r.Penalty, r.FaultFree)
+			}
+			if r.Retries != 0 || r.Timeouts != 0 || r.Failovers != 0 || r.Degraded {
+				t.Errorf("%s @ %v: zero-intensity run recorded policy actions: %+v", r.App, r.Slack, r)
+			}
+		}
+		if r.Penalty < 0 {
+			t.Errorf("%s @ %v ×%g: negative penalty %v", r.App, r.Slack, r.Intensity, r.Penalty)
+		}
+	}
+	// The aggressive schedule must actually exercise the machinery
+	// somewhere in the grid.
+	var acted bool
+	for _, r := range rows {
+		if r.Intensity == 4 && (r.Retries > 0 || r.Timeouts > 0 || r.Failovers > 0) {
+			acted = true
+		}
+	}
+	if !acted {
+		t.Error("intensity-4 schedule produced no retries/timeouts/failovers anywhere")
+	}
+}

@@ -26,25 +26,28 @@ type SharedLink struct {
 }
 
 // NewSharedLink builds a link with the given one-way latency, bandwidth in
-// bytes/second, and number of parallel lanes (concurrent transfers).
-func NewSharedLink(env *sim.Env, latency sim.Duration, bandwidth float64, lanes int) *SharedLink {
+// bytes/second, and number of parallel lanes (concurrent transfers). It is
+// part of the package's validated constructor path: invalid parameters are
+// an error, not a panic, so sweeps can reject one point and carry on.
+func NewSharedLink(env *sim.Env, latency sim.Duration, bandwidth float64, lanes int) (*SharedLink, error) {
 	if latency < 0 || bandwidth <= 0 || lanes <= 0 {
-		panic(fmt.Sprintf("fabric: invalid shared link (%v, %g B/s, %d lanes)", latency, bandwidth, lanes))
+		return nil, fmt.Errorf("fabric: invalid shared link (%v, %g B/s, %d lanes)", latency, bandwidth, lanes)
 	}
 	return &SharedLink{
 		env:       env,
 		latency:   latency,
 		bandwidth: bandwidth,
 		lanes:     sim.NewResource(env, lanes),
-	}
+	}, nil
 }
 
 // Transfer moves n bytes across the link from the calling process,
 // queueing behind other transfers when all lanes are busy. It returns the
-// total time experienced (queueing + latency + serialization).
+// total time experienced (queueing + latency + serialization). Negative
+// sizes clamp to zero, as in Path.TransferTime.
 func (l *SharedLink) Transfer(p *sim.Proc, n int64) sim.Duration {
 	if n < 0 {
-		panic("fabric: negative transfer size")
+		n = 0
 	}
 	start := p.Now()
 	l.lanes.Acquire(p)
@@ -111,7 +114,10 @@ func CongestionSweepParallel(hosts []int, msgBytes int64, thinkTime sim.Duration
 		}
 		env := sim.NewEnv()
 		defer env.Close()
-		link := NewSharedLink(env, latency, bandwidth, 1)
+		link, err := NewSharedLink(env, latency, bandwidth, 1)
+		if err != nil {
+			return CongestionPoint{}, err
+		}
 		rng := rand.New(rand.NewSource(int64(h)))
 		for i := 0; i < h; i++ {
 			// Jitter each host's phase and period: perfectly staggered

@@ -10,7 +10,10 @@ import (
 func TestSharedLinkUncontendedMatchesNominal(t *testing.T) {
 	env := sim.NewEnv()
 	defer env.Close()
-	link := NewSharedLink(env, 10*sim.Microsecond, 1e9, 1)
+	link, err := NewSharedLink(env, 10*sim.Microsecond, 1e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var got sim.Duration
 	env.Spawn("host", func(p *sim.Proc) {
 		got = link.Transfer(p, 1_000_000) // 10µs + 1ms
@@ -31,7 +34,10 @@ func TestSharedLinkUncontendedMatchesNominal(t *testing.T) {
 func TestSharedLinkSerializesContenders(t *testing.T) {
 	env := sim.NewEnv()
 	defer env.Close()
-	link := NewSharedLink(env, 0, 1e9, 1)
+	link, err := NewSharedLink(env, 0, 1e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 3; i++ {
 		env.Spawn("host", func(p *sim.Proc) {
 			link.Transfer(p, 1_000_000) // 1ms each
@@ -52,7 +58,10 @@ func TestSharedLinkSerializesContenders(t *testing.T) {
 func TestSharedLinkLanesAllowOverlap(t *testing.T) {
 	env := sim.NewEnv()
 	defer env.Close()
-	link := NewSharedLink(env, 0, 1e9, 2)
+	link, err := NewSharedLink(env, 0, 1e9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 2; i++ {
 		env.Spawn("host", func(p *sim.Proc) {
 			link.Transfer(p, 1_000_000)
@@ -64,12 +73,15 @@ func TestSharedLinkLanesAllowOverlap(t *testing.T) {
 }
 
 func TestSharedLinkValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid link accepted")
-		}
-	}()
-	NewSharedLink(sim.NewEnv(), 0, 0, 1)
+	if _, err := NewSharedLink(sim.NewEnv(), 0, 0, 1); err == nil {
+		t.Fatal("invalid link accepted")
+	}
+	if _, err := NewSharedLink(sim.NewEnv(), -sim.Microsecond, 1e9, 1); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if _, err := NewSharedLink(sim.NewEnv(), 0, 1e9, 0); err == nil {
+		t.Fatal("zero lanes accepted")
+	}
 }
 
 func TestCongestionSweepInflatesWithLoad(t *testing.T) {

@@ -18,19 +18,21 @@ import (
 const FibreKmPerSecond = 200_000.0
 
 // PropagationDelay returns the one-way propagation time over km kilometres
-// of fibre.
+// of fibre. It is total: negative distances clamp to zero. Validation
+// belongs to the constructor path (NewPath, NewSharedLink, PathForSlack),
+// which returns errors callers can recover from.
 func PropagationDelay(km float64) sim.Duration {
 	if km < 0 {
-		panic("fabric: negative distance")
+		km = 0
 	}
 	return sim.Duration(km / FibreKmPerSecond)
 }
 
 // DistanceForDelay inverts PropagationDelay: the fibre length whose one-way
-// propagation time equals d.
+// propagation time equals d. Negative delays clamp to zero.
 func DistanceForDelay(d sim.Duration) float64 {
 	if d < 0 {
-		panic("fabric: negative delay")
+		d = 0
 	}
 	return float64(d) * FibreKmPerSecond
 }
@@ -44,11 +46,40 @@ type Hop struct {
 	Bandwidth float64
 }
 
+// Validate reports the first invalid field of the hop.
+func (h Hop) Validate() error {
+	if h.Latency < 0 {
+		return fmt.Errorf("fabric: hop %q has negative latency %v", h.Name, h.Latency)
+	}
+	if h.Bandwidth < 0 {
+		return fmt.Errorf("fabric: hop %q has negative bandwidth %g B/s", h.Name, h.Bandwidth)
+	}
+	return nil
+}
+
 // Path is an ordered sequence of hops. A CPU→GPU message traverses every
 // hop once; a synchronous API call traverses the path twice (request and
 // completion).
 type Path struct {
 	Hops []Hop
+}
+
+// NewPath is the validated constructor: it rejects hops with negative
+// latency or bandwidth, so downstream arithmetic (Latency, TransferTime)
+// can stay total and panic-free.
+func NewPath(hops ...Hop) (Path, error) {
+	p := Path{Hops: hops}
+	return p, p.Validate()
+}
+
+// Validate reports the first invalid hop.
+func (p Path) Validate() error {
+	for _, h := range p.Hops {
+		if err := h.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Latency returns the one-way zero-payload latency of the path: the sum of
@@ -64,9 +95,10 @@ func (p Path) Latency() sim.Duration {
 // TransferTime returns the one-way time for a message of n payload bytes:
 // hop latencies plus serialization on every bandwidth-limited hop (a
 // store-and-forward model, the pessimistic case the paper favours).
+// Negative payload sizes clamp to zero (see NewPath for validation).
 func (p Path) TransferTime(n int64) sim.Duration {
 	if n < 0 {
-		panic("fabric: negative payload size")
+		n = 0
 	}
 	d := p.Latency()
 	for _, h := range p.Hops {
@@ -192,12 +224,15 @@ func SlackForPath(p Path) sim.Duration { return p.Latency() }
 // PathForSlack builds a synthetic path whose one-way latency equals the
 // requested slack — the software analogue of the paper's sleep-based
 // injection, useful for sweeping slack without constructing topologies.
-func PathForSlack(slack sim.Duration) Path {
+// Like the other constructors it returns an error (not a panic) on
+// invalid input, so sweeps over computed slacks fail a point, not the
+// process.
+func PathForSlack(slack sim.Duration) (Path, error) {
 	if slack < 0 {
-		panic("fabric: negative slack")
+		return Path{}, fmt.Errorf("fabric: negative slack %v", slack)
 	}
 	if slack == 0 {
-		return Path{}
+		return Path{}, nil
 	}
-	return Path{Hops: []Hop{{Name: "injected-slack", Latency: slack}}}
+	return NewPath(Hop{Name: "injected-slack", Latency: slack})
 }

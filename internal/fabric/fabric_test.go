@@ -29,23 +29,32 @@ func TestPropagationRoundTripInverse(t *testing.T) {
 	}
 }
 
-func TestNegativeInputsPanic(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"PropagationDelay": func() { PropagationDelay(-1) },
-		"DistanceForDelay": func() { DistanceForDelay(-1) },
-		"PathForSlack":     func() { PathForSlack(-1) },
-		"TransferTime":     func() { Path{}.TransferTime(-1) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s with negative input did not panic", name)
-				}
-			}()
-			fn()
-		}()
+func TestValidatedConstructorPath(t *testing.T) {
+	// Constructors return recoverable errors on invalid input...
+	if _, err := PathForSlack(-1); err == nil {
+		t.Error("PathForSlack(-1) accepted")
+	}
+	if _, err := NewPath(Hop{Name: "bad", Latency: -sim.Microsecond}); err == nil {
+		t.Error("NewPath with negative latency accepted")
+	}
+	if _, err := NewPath(Hop{Name: "bad", Bandwidth: -1}); err == nil {
+		t.Error("NewPath with negative bandwidth accepted")
+	}
+	if p, err := NewPath(Hop{Name: "ok", Latency: sim.Microsecond, Bandwidth: 1e9}); err != nil || len(p.Hops) != 1 {
+		t.Errorf("valid path rejected: %v", err)
+	}
+	// ...while the scalar converters are total: negative inputs clamp.
+	if got := PropagationDelay(-1); got != 0 {
+		t.Errorf("PropagationDelay(-1) = %v, want 0", got)
+	}
+	if got := DistanceForDelay(-1); got != 0 {
+		t.Errorf("DistanceForDelay(-1) = %v, want 0", got)
+	}
+	if got := (Path{}).TransferTime(-1); got != 0 {
+		t.Errorf("TransferTime(-1) = %v, want 0", got)
 	}
 }
+
 
 func TestPathLatencySumsHops(t *testing.T) {
 	p := Path{Hops: []Hop{
@@ -134,11 +143,19 @@ func TestPresetUnknownScalePanics(t *testing.T) {
 }
 
 func TestPathForSlack(t *testing.T) {
-	if got := SlackForPath(PathForSlack(0)); got != 0 {
+	zero, err := PathForSlack(0)
+	if err != nil || len(zero.Hops) != 0 {
+		t.Errorf("PathForSlack(0) = %v, %v", zero, err)
+	}
+	if got := SlackForPath(zero); got != 0 {
 		t.Errorf("zero slack path latency = %v", got)
 	}
 	for _, want := range []sim.Duration{1 * sim.Microsecond, 100 * sim.Microsecond, 10 * sim.Millisecond} {
-		if got := SlackForPath(PathForSlack(want)); got != want {
+		p, err := PathForSlack(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := SlackForPath(p); got != want {
 			t.Errorf("PathForSlack(%v) latency = %v", want, got)
 		}
 	}

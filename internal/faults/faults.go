@@ -1,0 +1,284 @@
+// Package faults is a deterministic fault-injection subsystem for the CDI
+// fabric. It produces a seeded, sim-clock-driven schedule of fault events —
+// packet loss, link flaps with outage windows, GPU-server stalls and
+// permanent crashes, and degraded-bandwidth periods — that any fabric path
+// or remoting transport can consult.
+//
+// Determinism is the design constraint: every fault decision is drawn from
+// an explicit substream derived from (seed, salt) with math/rand/v2's PCG,
+// one substream per concern. Consuming one stream (say, the packet-loss
+// coin) can never perturb another (the flap schedule), so adding a fault
+// class to a run leaves the others' event sequences byte-identical — the
+// same property the repo's cdivet suite enforces for all randomness.
+//
+// The package never reads the wall clock and holds no global state; all
+// queries are positional in virtual time (sim.Time), so a run replays
+// exactly under any worker count.
+package faults
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/sim"
+)
+
+// Stream salts. Each consumer of a seed owns one salt so substreams never
+// alias. The faults package reserves the low range and the per-server
+// blocks at 0x1000/0x2000; other packages (e.g. remoting) pick salts at
+// 0x10000 and above.
+const (
+	saltDrop    uint64 = 0x01
+	saltFlap    uint64 = 0x02
+	saltDegrade uint64 = 0x03
+	saltStall   uint64 = 0x1000 // + server id
+	saltCrash   uint64 = 0x2000 // + server id
+)
+
+// Substream returns an independent deterministic random stream derived
+// from a base seed and a stream-identifying salt. Two substreams with
+// different salts are statistically independent and positionally isolated:
+// draws from one never advance the other.
+func Substream(seed int64, salt uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), salt))
+}
+
+// SubSeed derives a non-negative int64 seed from (seed, salt), for APIs
+// that accept a seed rather than a stream (e.g. slack.WithJitter).
+func SubSeed(seed int64, salt uint64) int64 {
+	return int64(rand.NewPCG(uint64(seed), salt).Uint64() >> 1)
+}
+
+// Config is a fault schedule. The zero value (and any config whose rates
+// are all zero) injects nothing. "Every" fields are mean intervals of an
+// exponential (Poisson) process; the matching "For"/"Outage" fields are
+// the fixed duration of each event.
+type Config struct {
+	// Seed roots every substream of the schedule.
+	Seed int64
+
+	// DropProbability is the chance, in [0, 1), that any single message
+	// (request or response) is lost in transit.
+	DropProbability float64
+
+	// FlapEvery is the mean interval between link-flap outages on the
+	// host↔chassis path; zero disables flaps. FlapOutage is how long each
+	// outage lasts; messages sent during an outage are lost.
+	FlapEvery  sim.Duration
+	FlapOutage sim.Duration
+
+	// StallEvery is the mean interval between GPU-server stalls (driver
+	// hiccup, ECC scrub, preemption); zero disables stalls. StallFor is
+	// the stall length; requests arriving mid-stall wait it out.
+	StallEvery sim.Duration
+	StallFor   sim.Duration
+
+	// CrashAfter is the mean time until a GPU server crashes permanently
+	// (exponential, drawn once per server); zero means servers never
+	// crash. A crashed server stops responding forever.
+	CrashAfter sim.Duration
+
+	// DegradeEvery is the mean interval between degraded-bandwidth
+	// periods on the path (congestion, retransmit storms); zero disables
+	// them. During a period of length DegradeFor, payload serialization
+	// runs at DegradeFactor (in (0, 1]) of nominal bandwidth.
+	DegradeEvery  sim.Duration
+	DegradeFor    sim.Duration
+	DegradeFactor float64
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.DropProbability < 0 || c.DropProbability >= 1 {
+		return fmt.Errorf("faults: drop probability %g outside [0, 1)", c.DropProbability)
+	}
+	if c.FlapEvery < 0 || c.FlapOutage < 0 || c.StallEvery < 0 || c.StallFor < 0 ||
+		c.CrashAfter < 0 || c.DegradeEvery < 0 || c.DegradeFor < 0 {
+		return fmt.Errorf("faults: negative interval in %+v", c)
+	}
+	if c.FlapEvery > 0 && c.FlapOutage == 0 {
+		return fmt.Errorf("faults: flaps enabled with zero outage duration")
+	}
+	if c.StallEvery > 0 && c.StallFor == 0 {
+		return fmt.Errorf("faults: stalls enabled with zero stall duration")
+	}
+	if c.DegradeEvery > 0 && (c.DegradeFor == 0 || c.DegradeFactor <= 0 || c.DegradeFactor > 1) {
+		return fmt.Errorf("faults: degradation enabled with duration %v, factor %g", c.DegradeFor, c.DegradeFactor)
+	}
+	return nil
+}
+
+// Enabled reports whether the schedule can produce any fault at all.
+func (c Config) Enabled() bool {
+	return c.DropProbability > 0 || c.FlapEvery > 0 || c.StallEvery > 0 ||
+		c.CrashAfter > 0 || c.DegradeEvery > 0
+}
+
+// AtIntensity returns the canonical schedule the resilience experiment
+// sweeps: level 0 is fault-free, level 1 a plausibly unhealthy row-scale
+// fabric, and higher levels scale every event rate linearly (event
+// durations stay fixed — more faults, not longer ones).
+func AtIntensity(level float64, seed int64) Config {
+	if level <= 0 {
+		return Config{Seed: seed}
+	}
+	return Config{
+		Seed:            seed,
+		DropProbability: min(0.02*level, 0.5),
+		FlapEvery:       sim.Duration(float64(80*sim.Millisecond) / level),
+		FlapOutage:      200 * sim.Microsecond,
+		StallEvery:      sim.Duration(float64(50*sim.Millisecond) / level),
+		StallFor:        150 * sim.Microsecond,
+		CrashAfter:      sim.Duration(float64(10*sim.Second) / level),
+		DegradeEvery:    sim.Duration(float64(60*sim.Millisecond) / level),
+		DegradeFor:      500 * sim.Microsecond,
+		DegradeFactor:   0.25,
+	}
+}
+
+// Injector evaluates one fault schedule against virtual time. It is bound
+// to a single simulation run: queries must be issued at non-decreasing
+// sim.Time (which any in-sim caller does for free).
+type Injector struct {
+	cfg     Config
+	drop    *rand.Rand
+	link    *windows
+	degrade *windows
+	servers []*Server
+	c       Counters
+}
+
+// Counters aggregates the fault events the schedule actually delivered.
+type Counters struct {
+	// Drops counts messages consumed by packet loss.
+	Drops int64
+	// LinkDownHits counts sends attempted during a flap outage.
+	LinkDownHits int64
+	// StallHits counts requests that arrived at a stalled server.
+	StallHits int64
+	// DegradedTransfers counts transfers serialized at reduced bandwidth.
+	DegradedTransfers int64
+}
+
+// NewInjector builds an injector for the schedule.
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		cfg:     cfg,
+		drop:    Substream(cfg.Seed, saltDrop),
+		link:    newWindows(Substream(cfg.Seed, saltFlap), cfg.FlapEvery, cfg.FlapOutage),
+		degrade: newWindows(Substream(cfg.Seed, saltDegrade), cfg.DegradeEvery, cfg.DegradeFor),
+	}, nil
+}
+
+// Config returns the schedule the injector evaluates.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Counters returns a snapshot of the delivered fault events.
+func (in *Injector) Counters() Counters { return in.c }
+
+// DropsMessage draws one message-loss decision from the loss stream.
+func (in *Injector) DropsMessage() bool {
+	if in.cfg.DropProbability <= 0 {
+		return false
+	}
+	if in.drop.Float64() < in.cfg.DropProbability {
+		in.c.Drops++
+		return true
+	}
+	return false
+}
+
+// LinkDown reports whether the host↔chassis link is inside a flap outage
+// at t and, if so, when the outage ends.
+func (in *Injector) LinkDown(t sim.Time) (bool, sim.Time) {
+	down, until := in.link.at(t)
+	if down {
+		in.c.LinkDownHits++
+	}
+	return down, until
+}
+
+// BandwidthFactor returns the serialization-bandwidth multiplier at t:
+// 1 normally, Config.DegradeFactor inside a degraded period.
+func (in *Injector) BandwidthFactor(t sim.Time) float64 {
+	if down, _ := in.degrade.at(t); down {
+		in.c.DegradedTransfers++
+		return in.cfg.DegradeFactor
+	}
+	return 1
+}
+
+// ServerState classifies a GPU server's health at an instant.
+type ServerState int
+
+const (
+	// Healthy servers process requests normally.
+	Healthy ServerState = iota
+	// Stalled servers finish requests only after the stall window ends.
+	Stalled
+	// Crashed servers never respond again.
+	Crashed
+)
+
+// String names the state.
+func (s ServerState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Stalled:
+		return "stalled"
+	case Crashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("ServerState(%d)", int(s))
+	}
+}
+
+// Server is the deterministic fault state of one GPU server. Each server
+// id sees an independent stall schedule and crash time, both salted by id,
+// so adding a standby never shifts the primary's schedule.
+type Server struct {
+	stalls  *windows
+	crashes bool
+	crashAt sim.Time
+	c       *Counters
+}
+
+// Server returns the fault state for server id (0 = primary, 1+ =
+// standbys), creating state for all ids up to it on first use.
+func (in *Injector) Server(id int) *Server {
+	for len(in.servers) <= id {
+		i := uint64(len(in.servers))
+		s := &Server{
+			stalls: newWindows(Substream(in.cfg.Seed, saltStall+i), in.cfg.StallEvery, in.cfg.StallFor),
+			c:      &in.c,
+		}
+		if in.cfg.CrashAfter > 0 {
+			r := Substream(in.cfg.Seed, saltCrash+i)
+			s.crashes = true
+			s.crashAt = sim.Time(0).Add(sim.Duration(r.ExpFloat64() * float64(in.cfg.CrashAfter)))
+		}
+		in.servers = append(in.servers, s)
+	}
+	return in.servers[id]
+}
+
+// StateAt returns the server's state at t; for Stalled it also returns
+// when the stall ends.
+func (s *Server) StateAt(t sim.Time) (ServerState, sim.Time) {
+	if s.crashes && t >= s.crashAt {
+		return Crashed, 0
+	}
+	if down, until := s.stalls.at(t); down {
+		s.c.StallHits++
+		return Stalled, until
+	}
+	return Healthy, 0
+}
+
+// CrashTime returns the server's crash instant and whether it ever
+// crashes.
+func (s *Server) CrashTime() (sim.Time, bool) { return s.crashAt, s.crashes }

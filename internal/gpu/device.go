@@ -111,6 +111,8 @@ type Device struct {
 	streams      []*Stream
 	nextStreamID int
 	allIdle      *sim.WaitGroup // counts outstanding ops device-wide
+
+	lost bool // the physical device disappeared (server crash, failover)
 }
 
 // NewDevice creates a device with the given spec on env.
@@ -139,6 +141,15 @@ func (d *Device) Counters() Counters { return d.counters }
 
 // Listen registers a completion-event listener.
 func (d *Device) Listen(l Listener) { d.listeners = append(d.listeners, l) }
+
+// MarkLost records that the physical device is gone — the GPU server
+// crashed or a failover abandoned it. The device keeps its simulated
+// state (the allocator bookkeeping survives for inspection), but API
+// layers refuse new work against it; see cuda.ErrDeviceLost.
+func (d *Device) MarkLost() { d.lost = true }
+
+// Lost reports whether the device has been marked lost.
+func (d *Device) Lost() bool { return d.lost }
 
 // Malloc reserves n bytes of device memory.
 func (d *Device) Malloc(n int64) (Ptr, error) { return d.mem.malloc(n) }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/cuda"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/mpi"
 	"repro/internal/sim"
@@ -66,6 +67,10 @@ type PerfConfig struct {
 	// Slack is injected after every link-crossing CUDA call on every rank
 	// (0 = none) — used to validate the proxy-based predictions directly.
 	Slack sim.Duration
+	// Faults, when non-nil, charges deterministic fault-recovery delays
+	// (timeouts, retries, failover) after link-crossing calls on every
+	// rank; the caller keeps the pointer and reads its Stats afterwards.
+	Faults *faults.CallInjector
 	// Record attaches an NSys-style recorder.
 	Record bool
 }
@@ -167,6 +172,9 @@ func RunPerf(cfg PerfConfig) (PerfResult, error) {
 		}
 		injs[i] = slack.New(cfg.Slack)
 		ctxs[i].Interpose(injs[i])
+		if cfg.Faults != nil {
+			ctxs[i].Interpose(cfg.Faults)
+		}
 	}
 
 	world := mpi.NewWorld(env, cfg.Procs, mpi.IntraNode())

@@ -34,6 +34,26 @@ func NoSlackTime(measured sim.Duration, calls int64, perCall sim.Duration) sim.D
 	return measured - sim.Duration(calls)*perCall
 }
 
+// AvailabilityAdjustedPenalty extends Equation 1 to faulty runs: it
+// removes only the nominal per-call slack (calls × perCall) from the
+// measured runtime and expresses the remainder as a fractional penalty
+// over the fault-free baseline. Timeout waits, retries, backoff and
+// failover re-uploads are deliberately NOT subtracted — they are the
+// availability cost a real deployment would pay, so they stay inside the
+// reported penalty. At zero fault intensity the extra terms vanish and the
+// result reduces to the paper's fault-free Equation-1 penalty exactly.
+func AvailabilityAdjustedPenalty(measured sim.Duration, calls int64, perCall sim.Duration, baseline sim.Duration) float64 {
+	if baseline <= 0 {
+		panic("model: non-positive baseline runtime")
+	}
+	corrected := NoSlackTime(measured, calls, perCall)
+	penalty := float64(corrected)/float64(baseline) - 1
+	if penalty < 0 {
+		return 0
+	}
+	return penalty
+}
+
 // Surface is the proxy's slack response: for every tested (matrix size,
 // thread count), penalty as a function of slack, interpolated in log-slack
 // space, plus the per-size baseline kernel time and transfer size used to

@@ -16,12 +16,14 @@ package remoting
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 
 	"repro/internal/cuda"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/sim"
+	"repro/internal/slack"
 )
 
 // Config shapes the remoting transport.
@@ -61,10 +63,12 @@ func New(dev *gpu.Device, cfg Config) *Remote {
 	}
 	return &Remote{
 		// The server-side context dispatches locally at the chassis; its
-		// own driver overhead still applies.
+		// own driver overhead still applies. The noise stream is a salted
+		// substream of the seed, so other seed consumers (the injected arm
+		// of Compare, the fault schedule) can never perturb it.
 		ctx: cuda.NewContext(dev, cuda.Config{}),
 		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		rng: faults.Substream(cfg.Seed, saltNoise),
 	}
 }
 
@@ -185,17 +189,29 @@ type CompareResult struct {
 	// measured through the remoting layer.
 	RemotedMean   sim.Duration
 	RemotedStddev sim.Duration
+	// InjectedMean and InjectedStddev describe the same loop run under
+	// controlled slack injection of NominalSlack per call (with the same
+	// jitter fraction), the paper's preferred instrument.
+	InjectedMean   sim.Duration
+	InjectedStddev sim.Duration
 	// MeanCallDelay is the network time remoting actually added per call.
 	MeanCallDelay sim.Duration
 }
 
-// Compare runs n proxy iterations over a remote GPU and reports how far
-// the experienced per-call delay drifts from the nominal slack — the
-// paper's argument for controlled injection, quantified.
+// Compare runs n proxy iterations over a remote GPU and over a local GPU
+// with controlled slack injection of the same nominal delay, and reports
+// how far the remoted per-call delay drifts from the nominal slack — the
+// paper's argument for controlled injection, quantified. Each arm draws
+// its jitter from its own seed-derived substream, so adding calls to one
+// arm cannot perturb the other's sequence.
 func Compare(matrixSize, n int, cfg Config) (CompareResult, error) {
 	if matrixSize <= 0 || n <= 0 {
 		return CompareResult{}, fmt.Errorf("remoting: invalid comparison shape %d×%d", matrixSize, n)
 	}
+	matBytes := gpu.MatrixBytes(matrixSize)
+	kernel := gpu.MatMul(matrixSize)
+
+	// Arm 1: genuine remoting across the fabric.
 	env := sim.NewEnv()
 	defer env.Close()
 	dev, err := gpu.NewDevice(env, gpu.A100())
@@ -203,29 +219,81 @@ func Compare(matrixSize, n int, cfg Config) (CompareResult, error) {
 		return CompareResult{}, err
 	}
 	r := New(dev, cfg)
-	matBytes := gpu.MatrixBytes(matrixSize)
-	kernel := gpu.MatMul(matrixSize)
+	remoted, err := proxyLoop(env, n, matBytes, r.Malloc, func(p *sim.Proc, a, bm, c gpu.Ptr) (sim.Duration, error) {
+		return r.RunProxyIteration(p, a, bm, c, matBytes, kernel)
+	})
+	if err != nil {
+		return CompareResult{}, err
+	}
 
+	// Arm 2: node-local execution with the injector adding the path's
+	// one-way latency (and the same jitter fraction) per call.
+	ienv := sim.NewEnv()
+	defer ienv.Close()
+	idev, err := gpu.NewDevice(ienv, gpu.A100())
+	if err != nil {
+		return CompareResult{}, err
+	}
+	ictx := cuda.NewContext(idev, cuda.Config{})
+	var opts []slack.Option
+	if cfg.NoiseFraction > 0 {
+		opts = append(opts, slack.WithJitter(cfg.NoiseFraction, faults.SubSeed(cfg.Seed, saltInjectedArm)))
+	}
+	ictx.Interpose(slack.FromPath(cfg.Path, opts...))
+	injected, err := proxyLoop(ienv, n, matBytes,
+		func(p *sim.Proc, sz int64) (gpu.Ptr, error) { return ictx.Malloc(p, sz) },
+		func(p *sim.Proc, a, bm, c gpu.Ptr) (sim.Duration, error) {
+			start := p.Now()
+			if err := ictx.MemcpyH2D(p, a, matBytes); err != nil {
+				return 0, err
+			}
+			if err := ictx.MemcpyH2D(p, bm, matBytes); err != nil {
+				return 0, err
+			}
+			ictx.LaunchSync(p, kernel, nil)
+			ictx.DeviceSynchronize(p)
+			if err := ictx.MemcpyD2H(p, c, matBytes); err != nil {
+				return 0, err
+			}
+			return p.Now().Sub(start), nil
+		})
+	if err != nil {
+		return CompareResult{}, err
+	}
+
+	rMean, rSD := meanStddev(remoted)
+	iMean, iSD := meanStddev(injected)
+	return CompareResult{
+		MatrixSize:     matrixSize,
+		Iterations:     n,
+		NominalSlack:   cfg.Path.Latency(),
+		RemotedMean:    sim.Duration(rMean),
+		RemotedStddev:  sim.Duration(rSD),
+		InjectedMean:   sim.Duration(iMean),
+		InjectedStddev: sim.Duration(iSD),
+		MeanCallDelay:  r.MeanCallDelay(),
+	}, nil
+}
+
+// proxyLoop allocates three matrices via malloc and times n iterations of
+// iter inside env, returning the per-iteration durations.
+func proxyLoop(env *sim.Env, n int, matBytes int64,
+	malloc func(*sim.Proc, int64) (gpu.Ptr, error),
+	iter func(p *sim.Proc, a, bm, c gpu.Ptr) (sim.Duration, error)) ([]float64, error) {
 	var durs []float64
 	var runErr error
 	env.Spawn("host", func(p *sim.Proc) {
-		a, err := r.Malloc(p, matBytes)
-		if err != nil {
-			runErr = err
-			return
-		}
-		bm, err := r.Malloc(p, matBytes)
-		if err != nil {
-			runErr = err
-			return
-		}
-		c, err := r.Malloc(p, matBytes)
-		if err != nil {
-			runErr = err
-			return
+		var bufs [3]gpu.Ptr
+		for i := range bufs {
+			ptr, err := malloc(p, matBytes)
+			if err != nil {
+				runErr = err
+				return
+			}
+			bufs[i] = ptr
 		}
 		for i := 0; i < n; i++ {
-			d, err := r.RunProxyIteration(p, a, bm, c, matBytes, kernel)
+			d, err := iter(p, bufs[0], bufs[1], bufs[2])
 			if err != nil {
 				runErr = err
 				return
@@ -235,18 +303,9 @@ func Compare(matrixSize, n int, cfg Config) (CompareResult, error) {
 	})
 	env.Run()
 	if runErr != nil {
-		return CompareResult{}, runErr
+		return nil, runErr
 	}
-
-	mean, sd := meanStddev(durs)
-	return CompareResult{
-		MatrixSize:    matrixSize,
-		Iterations:    n,
-		NominalSlack:  cfg.Path.Latency(),
-		RemotedMean:   sim.Duration(mean),
-		RemotedStddev: sim.Duration(sd),
-		MeanCallDelay: r.MeanCallDelay(),
-	}, nil
+	return durs, nil
 }
 
 func meanStddev(xs []float64) (mean, sd float64) {

@@ -9,6 +9,15 @@ import (
 	"repro/internal/sim"
 )
 
+func mustPathForSlack(t *testing.T, d sim.Duration) fabric.Path {
+	t.Helper()
+	p, err := fabric.PathForSlack(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func testSpec() gpu.Spec {
 	return gpu.Spec{
 		Name:            "test-gpu",
@@ -25,7 +34,10 @@ func TestEveryCallCrossesTheNetworkTwice(t *testing.T) {
 	env := sim.NewEnv()
 	t.Cleanup(env.Close)
 	dev, _ := gpu.NewDevice(env, testSpec())
-	path := fabric.PathForSlack(50 * sim.Microsecond)
+	path, err := fabric.PathForSlack(50 * sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := New(dev, Config{Path: path, ServerOverhead: -1})
 	env.Spawn("host", func(p *sim.Proc) {
 		ptr, err := r.Malloc(p, 1000)
@@ -77,7 +89,7 @@ func TestPayloadRidesTheWire(t *testing.T) {
 
 func TestNoiseMakesDelaysVary(t *testing.T) {
 	cfg := Config{
-		Path:          fabric.PathForSlack(100 * sim.Microsecond),
+		Path:          mustPathForSlack(t, 100*sim.Microsecond),
 		NoiseFraction: 0.3,
 		Seed:          11,
 	}
@@ -135,7 +147,7 @@ func TestInvalidNoisePanics(t *testing.T) {
 }
 
 func TestDeterministicWithSeed(t *testing.T) {
-	cfg := Config{Path: fabric.PathForSlack(10 * sim.Microsecond), NoiseFraction: 0.2, Seed: 3}
+	cfg := Config{Path: mustPathForSlack(t, 10*sim.Microsecond), NoiseFraction: 0.2, Seed: 3}
 	a, err := Compare(512, 10, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,506 @@
+package remoting
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/cuda"
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Stream salts for seed-derived substreams (see faults.Substream; the
+// faults package reserves everything below 0x10000).
+const (
+	// saltNoise seeds network-traversal noise. Remote and Resilient share
+	// it so a zero-fault Resilient replays a Remote run bit for bit.
+	saltNoise uint64 = 0x10000
+	// saltInjectedArm seeds the controlled-injection arm of Compare.
+	saltInjectedArm uint64 = 0x10001
+	// saltRetryJitter seeds the resilient transport's backoff jitter.
+	saltRetryJitter uint64 = 0x10002
+)
+
+// ResilientConfig shapes the fault-tolerant transport: the base remoting
+// config plus a fault schedule, a retry/failover policy, and the standby
+// topology.
+type ResilientConfig struct {
+	Config
+	// Faults is the deterministic fault schedule the transport runs under.
+	Faults faults.Config
+	// Policy is the retry/failover discipline; zero fields take defaults.
+	Policy faults.Policy
+	// Standbys is the number of standby GPU servers provisioned for
+	// failover (0 = none).
+	Standbys int
+	// DisableLocalFallback turns off graceful degradation to node-local
+	// execution; with it set, exhausting every remote is a hard error.
+	DisableLocalFallback bool
+}
+
+// Stats aggregates what the resilience machinery did during a run.
+type Stats struct {
+	// Calls counts logical API calls issued through the transport.
+	Calls int64
+	// Retries, Timeouts, Failovers and BreakerTrips count policy actions.
+	Retries      int64
+	Timeouts     int64
+	Failovers    int64
+	BreakerTrips int64
+	// ReuploadBytes is the device state replayed onto a new server (or the
+	// local device) as DMA transfers during failover.
+	ReuploadBytes int64
+	// Degraded records that every remote died and the transport fell back
+	// to node-local execution.
+	Degraded bool
+}
+
+// execResult is what a server-side call body produces.
+type execResult struct {
+	ptr gpu.Ptr
+	err error
+}
+
+// endpoint is one GPU server (or the node-local fallback device).
+type endpoint struct {
+	dev *gpu.Device
+	ctx *cuda.Context
+	srv *faults.Server // nil for the node-local device
+	// done replays completed non-idempotent requests by id: a retried
+	// malloc/free whose response was lost must not execute twice.
+	done map[uint64]execResult
+	// phys maps the transport's virtual handles to this server's pointers.
+	phys map[gpu.Ptr]gpu.Ptr
+	dead bool
+}
+
+// Resilient is a fault-tolerant remoting transport: per-call deadlines on
+// sim.Signal.WaitTimeout, bounded retries with deterministic exponential
+// backoff and seeded jitter, idempotence-aware replay (memcpy/launch
+// re-execute; malloc/free deduplicate by request id), a consecutive-
+// timeout circuit breaker, failover to standby GPU servers with state
+// re-upload modeled as DMA replays, and graceful degradation to
+// node-local execution when no remote survives.
+//
+// Memory handles returned by Malloc are virtual: they survive failover,
+// being re-bound to the new server's allocations during state re-upload.
+type Resilient struct {
+	env *sim.Env
+	cfg ResilientConfig
+	pol faults.Policy
+	inj *faults.Injector
+
+	eps    []*endpoint // 0 = primary, 1.. = standbys
+	active int
+	local  *endpoint // node-local fallback (nil when disabled)
+
+	noise  *rand.Rand
+	jitter *rand.Rand
+
+	nextHandle gpu.Ptr
+	handles    []gpu.Ptr // live virtual handles in allocation order
+	sizes      map[gpu.Ptr]int64
+	nextReq    uint64
+
+	consecTimeouts int
+	degraded       bool
+	exhausted      error // set once no executor remains; fails calls fast
+	stats          Stats
+}
+
+// NewResilient builds the transport with a primary server, cfg.Standbys
+// standby servers, and (unless disabled) a node-local fallback device, all
+// of the given spec.
+func NewResilient(env *sim.Env, spec gpu.Spec, cfg ResilientConfig) (*Resilient, error) {
+	if err := cfg.Path.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NoiseFraction < 0 || cfg.NoiseFraction >= 1 {
+		return nil, fmt.Errorf("remoting: noise fraction %g outside [0, 1)", cfg.NoiseFraction)
+	}
+	if cfg.Standbys < 0 {
+		return nil, fmt.Errorf("remoting: negative standby count %d", cfg.Standbys)
+	}
+	if cfg.ServerOverhead == 0 {
+		cfg.ServerOverhead = 2 * sim.Microsecond
+	}
+	inj, err := faults.NewInjector(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	r := &Resilient{
+		env:    env,
+		cfg:    cfg,
+		pol:    cfg.Policy.WithDefaults(),
+		inj:    inj,
+		noise:  faults.Substream(cfg.Seed, saltNoise),
+		jitter: faults.Substream(cfg.Seed, saltRetryJitter),
+		sizes:  map[gpu.Ptr]int64{},
+	}
+	for i := 0; i <= cfg.Standbys; i++ {
+		dev, err := gpu.NewDevice(env, spec)
+		if err != nil {
+			return nil, err
+		}
+		r.eps = append(r.eps, &endpoint{
+			dev:  dev,
+			ctx:  cuda.NewContext(dev, cuda.Config{}),
+			srv:  inj.Server(i),
+			done: map[uint64]execResult{},
+			phys: map[gpu.Ptr]gpu.Ptr{},
+		})
+	}
+	if !cfg.DisableLocalFallback {
+		dev, err := gpu.NewDevice(env, spec)
+		if err != nil {
+			return nil, err
+		}
+		r.local = &endpoint{
+			dev:  dev,
+			ctx:  cuda.NewContext(dev, cuda.Config{}),
+			phys: map[gpu.Ptr]gpu.Ptr{},
+		}
+	}
+	return r, nil
+}
+
+// Stats returns a snapshot of the resilience counters.
+func (r *Resilient) Stats() Stats { return r.stats }
+
+// Degraded reports whether the transport has fallen back to node-local
+// execution.
+func (r *Resilient) Degraded() bool { return r.degraded }
+
+// ActiveServer returns the index of the GPU server currently serving
+// calls (meaningless once Degraded).
+func (r *Resilient) ActiveServer() int { return r.active }
+
+// transfer returns one network crossing's duration for n payload bytes,
+// applying the degraded-bandwidth factor to the serialization term and
+// the seeded noise multiplier to the whole crossing.
+func (r *Resilient) transfer(n int64, bwFactor float64) sim.Duration {
+	lat := r.cfg.Path.Latency()
+	d := r.cfg.Path.TransferTime(n)
+	if bwFactor > 0 && bwFactor < 1 {
+		d = lat + sim.Duration(float64(d-lat)/bwFactor)
+	}
+	if r.cfg.NoiseFraction > 0 {
+		d = sim.Duration(float64(d) * (1 + r.cfg.NoiseFraction*(2*r.noise.Float64()-1)))
+	}
+	return d
+}
+
+// deadline returns the per-attempt deadline for a call shape: the nominal
+// round trip (with worst-case noise) plus the policy's timeout allowance.
+func (r *Resilient) deadline(reqBytes, respBytes int64) sim.Duration {
+	rtt := r.cfg.Path.TransferTime(reqBytes) + r.cfg.Path.TransferTime(respBytes)
+	if r.cfg.ServerOverhead > 0 {
+		rtt += r.cfg.ServerOverhead
+	}
+	return sim.Duration(float64(rtt)*(1+r.cfg.NoiseFraction)) + r.pol.CallTimeout
+}
+
+// callSpec describes one API call to the retry machinery.
+type callSpec struct {
+	name               string
+	reqBytes, respBytes int64
+	// dedup marks calls that must not execute twice (malloc/free): a
+	// retry replays the recorded result instead of re-running exec.
+	dedup bool
+	exec  func(sp *sim.Proc, ep *endpoint) execResult
+}
+
+// call drives one API call through deadlines, retries, the breaker, and
+// failover. The returned error is a transport-level failure (no executor
+// left); API-level errors ride in execResult.err.
+func (r *Resilient) call(p *sim.Proc, cs callSpec) (execResult, error) {
+	if r.exhausted != nil {
+		return execResult{}, r.exhausted // breaker open: fail fast
+	}
+	r.stats.Calls++
+	if r.degraded {
+		return cs.exec(p, r.local), nil
+	}
+	reqID := r.nextReq
+	r.nextReq++
+	retries := 0
+	for {
+		res, ok := r.attempt(p, r.eps[r.active], reqID, cs)
+		if ok {
+			r.consecTimeouts = 0
+			return res, nil
+		}
+		r.stats.Timeouts++
+		r.consecTimeouts++
+		tripped := r.pol.BreakerThreshold > 0 && r.consecTimeouts >= r.pol.BreakerThreshold
+		if tripped || retries >= r.pol.MaxRetries {
+			if tripped {
+				r.stats.BreakerTrips++
+			}
+			if err := r.failover(p); err != nil {
+				r.exhausted = err
+				return execResult{}, err
+			}
+			if r.degraded {
+				return cs.exec(p, r.local), nil
+			}
+			retries = 0
+			continue
+		}
+		retries++
+		r.stats.Retries++
+		p.Sleep(r.pol.Backoff(retries, r.jitter))
+	}
+}
+
+// attempt plays one request/response exchange: the request crosses the
+// fabric (unless the link is down or the packet is lost), a server
+// process executes the body after any stall, and the response crosses
+// back. The host waits on a per-attempt signal with a deadline — the
+// sim.Signal.WaitTimeout the whole transport is built on. A response that
+// arrives after the deadline fires into an abandoned signal, which is a
+// no-op; the dedup cache keeps such orphaned executions idempotent.
+func (r *Resilient) attempt(p *sim.Proc, ep *endpoint, reqID uint64, cs callSpec) (execResult, bool) {
+	now := p.Now()
+	lost := false
+	if down, _ := r.inj.LinkDown(now); down {
+		lost = true
+	}
+	if !lost && r.inj.DropsMessage() {
+		lost = true // request lost in transit
+	}
+	done := sim.NewSignal(r.env)
+	var res execResult
+	if !lost {
+		reqTransfer := r.transfer(cs.reqBytes, r.inj.BandwidthFactor(now))
+		r.env.Spawn(fmt.Sprintf("rsrv-%s-%d", cs.name, reqID), func(sp *sim.Proc) {
+			sp.Sleep(reqTransfer)
+			if ep.srv != nil {
+				switch state, until := ep.srv.StateAt(sp.Now()); state {
+				case faults.Crashed:
+					ep.dev.MarkLost() // device-lost error surface
+					return            // no response, ever
+				case faults.Stalled:
+					sp.Sleep(until.Sub(sp.Now()))
+				}
+			}
+			if r.cfg.ServerOverhead > 0 {
+				sp.Sleep(r.cfg.ServerOverhead)
+			}
+			out, seen := ep.done[reqID]
+			if !seen {
+				out = cs.exec(sp, ep)
+				if cs.dedup {
+					ep.done[reqID] = out
+				}
+			}
+			respLost := false
+			if down, _ := r.inj.LinkDown(sp.Now()); down {
+				respLost = true
+			}
+			if !respLost && r.inj.DropsMessage() {
+				respLost = true
+			}
+			sp.Sleep(r.transfer(cs.respBytes, r.inj.BandwidthFactor(sp.Now())))
+			if respLost {
+				return
+			}
+			res = out
+			done.Fire()
+		})
+	}
+	if err := done.WaitTimeout(p, r.deadline(cs.reqBytes, cs.respBytes)); err != nil {
+		return execResult{}, false
+	}
+	return res, true
+}
+
+// failover abandons the active server (marking its device lost), picks
+// the next live standby — or degrades to node-local execution — and
+// replays all live device state onto the new executor: a control-plane
+// re-attach penalty plus one malloc + DMA H2D per allocation.
+func (r *Resilient) failover(p *sim.Proc) error {
+	r.stats.Failovers++
+	r.consecTimeouts = 0
+	cur := r.eps[r.active]
+	cur.dead = true
+	cur.dev.MarkLost()
+
+	next := -1
+	for i := r.active + 1; i < len(r.eps); i++ {
+		if !r.eps[i].dead {
+			next = i
+			break
+		}
+	}
+	if next >= 0 {
+		r.active = next
+		return r.migrate(p, r.eps[next], true)
+	}
+	if r.local == nil {
+		return fmt.Errorf("remoting: no standby left after %d failovers: %w",
+			r.stats.Failovers, cuda.ErrDeviceLost)
+	}
+	r.degraded = true
+	r.stats.Degraded = true
+	return r.migrate(p, r.local, false)
+}
+
+// migrate re-attaches on ep and re-uploads every live allocation as a DMA
+// replay. Remote targets additionally pay the network transfer for the
+// payload; the node-local fallback only pays the PCIe copy.
+func (r *Resilient) migrate(p *sim.Proc, ep *endpoint, overNetwork bool) error {
+	if r.pol.FailoverPenalty > 0 {
+		p.Sleep(r.pol.FailoverPenalty)
+	}
+	for _, h := range r.handles {
+		size := r.sizes[h]
+		ptr, err := ep.ctx.Malloc(p, size)
+		if err != nil {
+			return fmt.Errorf("remoting: state re-upload: %w", err)
+		}
+		ep.phys[h] = ptr
+		if overNetwork {
+			p.Sleep(r.transfer(size, 1))
+		}
+		if err := ep.ctx.MemcpyH2D(p, ptr, size); err != nil {
+			return fmt.Errorf("remoting: state re-upload: %w", err)
+		}
+		r.stats.ReuploadBytes += size
+	}
+	return nil
+}
+
+// Malloc forwards cudaMalloc and returns a failover-stable virtual handle.
+func (r *Resilient) Malloc(p *sim.Proc, n int64) (gpu.Ptr, error) {
+	r.nextHandle++
+	h := r.nextHandle
+	res, err := r.call(p, callSpec{
+		name: "malloc", reqBytes: 64, respBytes: 64, dedup: true,
+		exec: func(sp *sim.Proc, ep *endpoint) execResult {
+			ptr, err := ep.ctx.Malloc(sp, n)
+			if err == nil {
+				ep.phys[h] = ptr
+			}
+			return execResult{ptr: ptr, err: err}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.err != nil {
+		return 0, res.err
+	}
+	r.handles = append(r.handles, h)
+	r.sizes[h] = n
+	return h, nil
+}
+
+// Free forwards cudaFree. A retried free whose first execution succeeded
+// is treated as success (idempotent by request-id dedup).
+func (r *Resilient) Free(p *sim.Proc, h gpu.Ptr) error {
+	res, err := r.call(p, callSpec{
+		name: "free", reqBytes: 64, respBytes: 64, dedup: true,
+		exec: func(sp *sim.Proc, ep *endpoint) execResult {
+			ptr, ok := ep.phys[h]
+			if !ok {
+				return execResult{err: fmt.Errorf("%w: unknown handle %d", cuda.ErrInvalidValue, h)}
+			}
+			delete(ep.phys, h)
+			return execResult{err: ep.ctx.Free(sp, ptr)}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if res.err != nil {
+		return res.err
+	}
+	for i, live := range r.handles {
+		if live == h {
+			r.handles = append(r.handles[:i], r.handles[i+1:]...)
+			break
+		}
+	}
+	delete(r.sizes, h)
+	return nil
+}
+
+// MemcpyH2D forwards a host-to-device copy; the payload rides the
+// request. Copies are idempotent and simply re-execute on retry.
+func (r *Resilient) MemcpyH2D(p *sim.Proc, h gpu.Ptr, n int64) error {
+	res, err := r.call(p, callSpec{
+		name: "h2d", reqBytes: 64 + n, respBytes: 64,
+		exec: func(sp *sim.Proc, ep *endpoint) execResult {
+			return execResult{err: ep.ctx.MemcpyH2D(sp, ep.phys[h], n)}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return res.err
+}
+
+// MemcpyD2H forwards a device-to-host copy; the payload rides the
+// response.
+func (r *Resilient) MemcpyD2H(p *sim.Proc, h gpu.Ptr, n int64) error {
+	res, err := r.call(p, callSpec{
+		name: "d2h", reqBytes: 64, respBytes: 64 + n,
+		exec: func(sp *sim.Proc, ep *endpoint) execResult {
+			return execResult{err: ep.ctx.MemcpyD2H(sp, ep.phys[h], n)}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return res.err
+}
+
+// LaunchSync forwards a blocking kernel launch (idempotent: re-executes
+// on retry).
+func (r *Resilient) LaunchSync(p *sim.Proc, k gpu.Kernel) error {
+	_, err := r.call(p, callSpec{
+		name: "launch", reqBytes: 256, respBytes: 64,
+		exec: func(sp *sim.Proc, ep *endpoint) execResult {
+			ep.ctx.LaunchSync(sp, k, nil)
+			return execResult{}
+		},
+	})
+	return err
+}
+
+// DeviceSynchronize forwards cudaDeviceSynchronize.
+func (r *Resilient) DeviceSynchronize(p *sim.Proc) error {
+	_, err := r.call(p, callSpec{
+		name: "sync", reqBytes: 64, respBytes: 64,
+		exec: func(sp *sim.Proc, ep *endpoint) execResult {
+			ep.ctx.DeviceSynchronize(sp)
+			return execResult{}
+		},
+	})
+	return err
+}
+
+// RunProxyIteration executes one proxy-style compute iteration (copy A,
+// copy B, kernel, sync, copy C) and returns the host-observed duration —
+// the same loop Remote.RunProxyIteration runs, now fault-tolerant.
+func (r *Resilient) RunProxyIteration(p *sim.Proc, a, bm, c gpu.Ptr, matBytes int64, k gpu.Kernel) (sim.Duration, error) {
+	start := p.Now()
+	if err := r.MemcpyH2D(p, a, matBytes); err != nil {
+		return 0, err
+	}
+	if err := r.MemcpyH2D(p, bm, matBytes); err != nil {
+		return 0, err
+	}
+	if err := r.LaunchSync(p, k); err != nil {
+		return 0, err
+	}
+	if err := r.DeviceSynchronize(p); err != nil {
+		return 0, err
+	}
+	if err := r.MemcpyD2H(p, c, matBytes); err != nil {
+		return 0, err
+	}
+	return p.Now().Sub(start), nil
+}

@@ -1,0 +1,285 @@
+package remoting
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// runResilientLoop allocates three matrices and runs n proxy iterations
+// through r, returning the per-iteration durations and the first error.
+func runResilientLoop(env *sim.Env, r *Resilient, n, matrixSize int) ([]sim.Duration, error) {
+	matBytes := gpu.MatrixBytes(matrixSize)
+	kernel := gpu.MatMul(matrixSize)
+	var durs []sim.Duration
+	var runErr error
+	env.Spawn("host", func(p *sim.Proc) {
+		var bufs [3]gpu.Ptr
+		for i := range bufs {
+			h, err := r.Malloc(p, matBytes)
+			if err != nil {
+				runErr = err
+				return
+			}
+			bufs[i] = h
+		}
+		for i := 0; i < n; i++ {
+			d, err := r.RunProxyIteration(p, bufs[0], bufs[1], bufs[2], matBytes, kernel)
+			if err != nil {
+				runErr = err
+				return
+			}
+			durs = append(durs, d)
+		}
+	})
+	env.Run()
+	return durs, runErr
+}
+
+func TestResilientZeroFaultsMatchesRemote(t *testing.T) {
+	// With no faults configured, the resilient transport must replay a
+	// plain Remote run bit for bit: same path, same seed, same noise
+	// stream, identical per-iteration durations.
+	cfg := Config{Path: mustPathForSlack(t, 50*sim.Microsecond), NoiseFraction: 0.3, Seed: 7}
+
+	env := sim.NewEnv()
+	defer env.Close()
+	dev, err := gpu.NewDevice(env, gpu.A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem := New(dev, cfg)
+	matBytes := gpu.MatrixBytes(64)
+	kernel := gpu.MatMul(64)
+	var want []sim.Duration
+	env.Spawn("host", func(p *sim.Proc) {
+		a, _ := rem.Malloc(p, matBytes)
+		bm, _ := rem.Malloc(p, matBytes)
+		c, _ := rem.Malloc(p, matBytes)
+		for i := 0; i < 20; i++ {
+			d, err := rem.RunProxyIteration(p, a, bm, c, matBytes, kernel)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			want = append(want, d)
+		}
+	})
+	env.Run()
+
+	renv := sim.NewEnv()
+	defer renv.Close()
+	res, err := NewResilient(renv, gpu.A100(), ResilientConfig{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runResilientLoop(renv, res, 20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iteration count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration %d: resilient %v != remote %v", i, got[i], want[i])
+		}
+	}
+	st := res.Stats()
+	if st.Retries != 0 || st.Timeouts != 0 || st.Failovers != 0 || st.Degraded {
+		t.Errorf("zero-fault run recorded resilience activity: %+v", st)
+	}
+}
+
+func TestResilientDeterministicReplay(t *testing.T) {
+	run := func() ([]sim.Duration, Stats) {
+		env := sim.NewEnv()
+		defer env.Close()
+		r, err := NewResilient(env, gpu.A100(), ResilientConfig{
+			Config:   Config{Path: mustPathForSlack(t, 100*sim.Microsecond), NoiseFraction: 0.2, Seed: 3},
+			Faults:   faults.AtIntensity(2, 3),
+			Standbys: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		durs, err := runResilientLoop(env, r, 30, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return durs, r.Stats()
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ across replays: %+v vs %+v", s1, s2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("iteration %d differs across replays: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestResilientFailoverOnCrash(t *testing.T) {
+	// Crash the primary early in the run (seed 5 places the crash at
+	// ~0.165×CrashAfter ≈ 825µs, after the mallocs but well before the
+	// loop ends); the transport must fail over to the standby, replay
+	// device state as DMA uploads, and finish.
+	env := sim.NewEnv()
+	defer env.Close()
+	r, err := NewResilient(env, gpu.A100(), ResilientConfig{
+		Config:   Config{Path: mustPathForSlack(t, 50*sim.Microsecond), Seed: 5},
+		Faults:   faults.Config{Seed: 5, CrashAfter: 5 * sim.Millisecond},
+		Standbys: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runResilientLoop(env, r, 10, 64); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Failovers < 1 {
+		t.Fatalf("no failover despite early crash: %+v", st)
+	}
+	if st.ReuploadBytes < 3*gpu.MatrixBytes(64) {
+		t.Errorf("state re-upload bytes = %d, want ≥ %d", st.ReuploadBytes, 3*gpu.MatrixBytes(64))
+	}
+	if st.Timeouts < 1 {
+		t.Errorf("crash produced no timeouts: %+v", st)
+	}
+}
+
+func TestResilientDegradesToLocal(t *testing.T) {
+	// With no standby and a crashed primary, the transport must degrade
+	// gracefully to node-local execution and keep serving calls.
+	env := sim.NewEnv()
+	defer env.Close()
+	r, err := NewResilient(env, gpu.A100(), ResilientConfig{
+		Config: Config{Path: mustPathForSlack(t, 50*sim.Microsecond), Seed: 9},
+		Faults: faults.Config{Seed: 9, CrashAfter: 50 * sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durs, err := runResilientLoop(env, r, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Degraded() {
+		t.Fatalf("transport not degraded after losing only server: %+v", r.Stats())
+	}
+	// Degraded iterations run node-local: no network crossing, so they
+	// must be far cheaper than the remoted round trips.
+	last := durs[len(durs)-1]
+	if last >= 100*sim.Microsecond {
+		t.Errorf("degraded iteration took %v, want < one round trip", last)
+	}
+}
+
+func TestResilientExhaustedFailsFast(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	r, err := NewResilient(env, gpu.A100(), ResilientConfig{
+		Config:               Config{Path: mustPathForSlack(t, 50*sim.Microsecond), Seed: 1},
+		Faults:               faults.Config{Seed: 1, CrashAfter: 50 * sim.Microsecond},
+		DisableLocalFallback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second error
+	var firstAt, secondAt sim.Time
+	env.Spawn("host", func(p *sim.Proc) {
+		_, first = r.Malloc(p, 1024)
+		firstAt = p.Now()
+		_, second = r.Malloc(p, 1024)
+		secondAt = p.Now()
+	})
+	env.Run()
+	if !errors.Is(first, cuda.ErrDeviceLost) {
+		t.Fatalf("first call error = %v, want ErrDeviceLost", first)
+	}
+	if !errors.Is(second, cuda.ErrDeviceLost) {
+		t.Fatalf("second call error = %v, want ErrDeviceLost", second)
+	}
+	if secondAt != firstAt {
+		t.Errorf("exhausted transport did not fail fast: %v vs %v", secondAt, firstAt)
+	}
+}
+
+func TestResilientMallocFreeIdempotentUnderLoss(t *testing.T) {
+	// Heavy packet loss forces retries of malloc and free. Request-id
+	// dedup must keep them idempotent: every handle frees cleanly and the
+	// allocator balances.
+	env := sim.NewEnv()
+	defer env.Close()
+	r, err := NewResilient(env, gpu.A100(), ResilientConfig{
+		Config:   Config{Path: mustPathForSlack(t, 20*sim.Microsecond), Seed: 11},
+		Faults:   faults.Config{Seed: 11, DropProbability: 0.4},
+		Standbys: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runErr error
+	env.Spawn("host", func(p *sim.Proc) {
+		for round := 0; round < 8; round++ {
+			var hs []gpu.Ptr
+			for i := 0; i < 4; i++ {
+				h, err := r.Malloc(p, 1<<20)
+				if err != nil {
+					runErr = err
+					return
+				}
+				hs = append(hs, h)
+			}
+			for _, h := range hs {
+				if err := r.Free(p, h); err != nil {
+					runErr = err
+					return
+				}
+			}
+		}
+	})
+	env.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	st := r.Stats()
+	if st.Retries == 0 {
+		t.Errorf("drop probability 0.4 produced no retries: %+v", st)
+	}
+}
+
+func TestComparePerArmStreamsIndependent(t *testing.T) {
+	// The injected arm draws jitter from its own substream: doubling the
+	// remote arm's draw count (more iterations) must not change the
+	// injected arm's per-iteration distribution for the shared prefix.
+	cfg := Config{Path: mustPathForSlack(t, 50*sim.Microsecond), NoiseFraction: 0.3, Seed: 42}
+	a, err := Compare(32, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compare(32, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Compare not deterministic: %+v vs %+v", a, b)
+	}
+	if a.InjectedMean <= 0 || a.InjectedStddev < 0 {
+		t.Errorf("injected arm not measured: %+v", a)
+	}
+	// The injected arm tracks the nominal slack tightly (that is the whole
+	// point of controlled injection): its mean must sit within jitter
+	// range of remoted mean's ballpark but with its own independent value.
+	if a.InjectedMean == a.RemotedMean {
+		t.Errorf("arms suspiciously identical: %+v", a)
+	}
+}

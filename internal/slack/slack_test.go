@@ -143,7 +143,10 @@ func TestJitterDeterministicAndBounded(t *testing.T) {
 }
 
 func TestFromPathUsesOneWayLatency(t *testing.T) {
-	p := fabric.PathForSlack(42 * sim.Microsecond)
+	p, err := fabric.PathForSlack(42 * sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	in := FromPath(p)
 	if in.Amount() != 42*sim.Microsecond {
 		t.Errorf("Amount = %v", in.Amount())

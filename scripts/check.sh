@@ -13,6 +13,14 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Dedicated uncached pass over the fault-injection / resilient-transport /
+# resilience-experiment tests: these are the suites guarding the
+# byte-determinism of the fault schedule, so they must run fresh even when
+# the package-wide run above was cached.
+echo "== go test -race -count=1 (resilience)"
+go test -race -count=1 -run 'Resilien|Fault|WaitTimeout' \
+  ./internal/faults/ ./internal/remoting/ ./internal/sim/ ./internal/experiments/
+
 echo "== cdivet ./..."
 go run ./cmd/cdivet -sarif cdivet.sarif ./...
 
