@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cosmoflow"
+	"repro/internal/cuda"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
 	"repro/internal/faults"
@@ -19,7 +20,9 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/proxy"
 	"repro/internal/remoting"
+	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/slack"
 )
 
 // --- One benchmark per paper table/figure ---
@@ -490,6 +493,47 @@ func BenchmarkRemotingFaultPath(b *testing.B) {
 		}
 		if r.Stats().Retries == 0 {
 			b.Fatal("fault path not exercised: no retries")
+		}
+	}
+}
+
+// BenchmarkServeSteadyState runs one steady-state multi-tenant serving
+// window end to end — open-loop Poisson arrivals, the continuous batcher
+// at iteration-level admission, and the paper's 100 µs row-scale slack on
+// every link-crossing call — the serving subsystem's hot path.
+func BenchmarkServeSteadyState(b *testing.B) {
+	tenants := []serve.Tenant{
+		{Name: "chat", Rate: 100, MeanPromptTokens: 32, MeanOutputTokens: 8,
+			SLO: 25 * sim.Millisecond},
+		{Name: "batchapi", Rate: 60, MeanPromptTokens: 64, MeanOutputTokens: 12,
+			SLO: 200 * sim.Millisecond},
+	}
+	const window = 200 * sim.Millisecond
+	reqs, err := serve.Generate(tenants, window, 41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		dev, err := gpu.NewDevice(env, gpu.A100())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := cuda.NewContext(dev, cuda.Config{})
+		ctx.Interpose(slack.New(100 * sim.Microsecond))
+		eng, err := serve.Start(env, serve.NewLocal(ctx),
+			serve.Config{Policy: serve.Continuous, Tenants: tenants}, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.Run()
+		env.Close()
+		if err := eng.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if eng.Completed() != len(reqs) {
+			b.Fatalf("completed %d of %d requests", eng.Completed(), len(reqs))
 		}
 	}
 }

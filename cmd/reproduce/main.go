@@ -9,7 +9,7 @@
 //
 // Paper experiments: table1 figure2 threads cfcpu table2 figure3 figure4
 // figure5 table3 table4 validate compose.
-// Extensions: appvalidate congestion remoting resilience weak reach throughput coupling preload scales.
+// Extensions: appvalidate congestion remoting resilience weak reach throughput coupling preload scales serving.
 // "all" runs everything.
 package main
 
@@ -29,13 +29,14 @@ var experimentIDs = []string{
 	"table1", "figure2", "threads", "cfcpu", "table2", "figure3",
 	"figure4", "figure5", "table3", "table4", "validate", "compose",
 	"appvalidate", "scales", "preload", "congestion", "remoting",
-	"resilience", "weak", "coupling", "throughput", "reach",
+	"resilience", "weak", "coupling", "throughput", "reach", "serving",
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (or comma list)")
 	paper := flag.Bool("paper", false, "paper-faithful parameters (slow: full 5000-step runs, 30s proxy loops)")
 	jobs := flag.Int("j", 0, "worker pool size for sweeps (0 = GOMAXPROCS, 1 = serial); output is byte-identical for every value")
+	traceOut := flag.String("trace", "", "write a Chrome trace of one serving window to this file (requires -exp serving)")
 	flag.Parse()
 
 	opts := experiments.Quick()
@@ -62,6 +63,10 @@ func main() {
 		sort.Strings(unknown)
 		fmt.Fprintf(os.Stderr, "unknown experiment id(s): %s\n", strings.Join(unknown, ", "))
 		fmt.Fprintf(os.Stderr, "valid ids: all, %s\n", strings.Join(experimentIDs, ", "))
+		os.Exit(2)
+	}
+	if *traceOut != "" && !(want["all"] || want["serving"]) {
+		fmt.Fprintf(os.Stderr, "-trace requires -exp serving\n")
 		os.Exit(2)
 	}
 	all := want["all"]
@@ -188,6 +193,18 @@ func main() {
 		rows, err := experiments.Reach(opts, traces)
 		check(err)
 		fmt.Print(experiments.RenderReach(rows))
+	}
+	if section("serving") {
+		rows, err := experiments.Serving(opts)
+		check(err)
+		fmt.Print(experiments.RenderServing(rows))
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			check(err)
+			check(experiments.WriteServingTrace(opts, f))
+			check(f.Close())
+			fmt.Printf("wrote serving trace to %s\n", *traceOut)
+		}
 	}
 
 	if ran == 0 {

@@ -36,6 +36,9 @@ type Options struct {
 	// epochs × 1024 samples).
 	CosmoEpochs  int
 	CosmoSamples int
+	// ServeWindow is the serving experiment's measurement window (paper
+	// convention: 5 s of open-loop arrivals).
+	ServeWindow sim.Duration
 	// Jobs bounds the worker pool every sweep fans its independent
 	// configuration points across (cmd/reproduce's -j flag). Each point
 	// owns a private sim.Env and results merge in input order, so output
@@ -46,12 +49,14 @@ type Options struct {
 
 // Quick returns reduced-cost options that preserve every reported shape.
 func Quick() Options {
-	return Options{LAMMPSSteps: 40, ProxyIters: 20, CosmoEpochs: 1, CosmoSamples: 32}
+	return Options{LAMMPSSteps: 40, ProxyIters: 20, CosmoEpochs: 1, CosmoSamples: 32,
+		ServeWindow: 500 * sim.Millisecond}
 }
 
 // Paper returns paper-faithful options (expensive).
 func Paper() Options {
-	return Options{LAMMPSSteps: 5000, ProxyIters: 0, CosmoEpochs: 5, CosmoSamples: 1024}
+	return Options{LAMMPSSteps: 5000, ProxyIters: 0, CosmoEpochs: 5, CosmoSamples: 1024,
+		ServeWindow: 5 * sim.Second}
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +69,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CosmoSamples == 0 {
 		o.CosmoSamples = p.CosmoSamples
+	}
+	if o.ServeWindow == 0 {
+		o.ServeWindow = p.ServeWindow
 	}
 	return o
 }

@@ -169,6 +169,44 @@ func Elementwise(name string, n int) Kernel {
 	}
 }
 
+// Prefill returns the kernel for processing tokens prompt tokens through a
+// transformer of params parameters in one pass — the compute-bound phase of
+// autoregressive inference. The dominant cost is the 2·params FLOPs each
+// token spends in the weight GEMMs; large-tile GEMMs run near the same
+// efficiency band as cuBLAS-grade SGEMM.
+func Prefill(tokens int, params float64) Kernel {
+	if tokens <= 0 || params <= 0 {
+		panic("gpu: invalid Prefill parameters")
+	}
+	ft := float64(tokens)
+	return Kernel{
+		Name:       "llm_prefill",
+		FLOPs:      2 * params * ft,
+		Efficiency: 0.45,
+		// Weights stream through once (2 B/param at half precision) plus
+		// per-token activation traffic.
+		MemBytes: 2*params + ft*4096,
+	}
+}
+
+// DecodeStep returns the kernel for one autoregressive decode iteration
+// over a batch of sequences: every weight is read once per step regardless
+// of batch size, so the step is memory-bound at small batches (2 B/param of
+// HBM traffic) and the arithmetic term 2·params·batch only catches up at
+// large batch — exactly the economics that make batching worthwhile.
+func DecodeStep(batch int, params float64) Kernel {
+	if batch <= 0 || params <= 0 {
+		panic("gpu: invalid DecodeStep parameters")
+	}
+	fb := float64(batch)
+	return Kernel{
+		Name:       "llm_decode",
+		FLOPs:      2 * params * fb,
+		Efficiency: 0.45,
+		MemBytes:   2*params + fb*4096,
+	}
+}
+
 // Fixed returns a kernel that executes for exactly d at boost clock —
 // replaying a measured duration through the device's queue and warm-up
 // machinery.

@@ -1,0 +1,192 @@
+package remoting
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// streamResult is one client stream's outcome: when each of its rounds
+// completed on the sim clock, and the first error it hit.
+type streamResult struct {
+	rounds []sim.Time
+	err    error
+}
+
+// runConcurrentStreams drives procs client processes against one shared
+// Resilient, each holding its own device buffer of bufBytes and running
+// rounds of free/re-malloc + H2D + kernel + D2H — the sustained
+// interleaved-call shape a serving batcher produces, not one-shot calls.
+// Request ids from different streams interleave arbitrarily at the
+// endpoint, which is exactly what the dedup table must survive.
+func runConcurrentStreams(t *testing.T, rc ResilientConfig, procs, rounds int, bufBytes int64) ([]streamResult, Stats) {
+	t.Helper()
+	env := sim.NewEnv()
+	defer env.Close()
+	r, err := NewResilient(env, gpu.A100(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := gpu.MatMul(64)
+	results := make([]streamResult, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		env.Spawn("client", func(p *sim.Proc) {
+			res := &results[i]
+			// Stagger starts so streams are genuinely interleaved rather
+			// than lock-stepped.
+			p.Sleep(sim.Duration(i) * 100 * sim.Microsecond)
+			buf, err := r.Malloc(p, bufBytes)
+			if err != nil {
+				res.err = err
+				return
+			}
+			for round := 0; round < rounds; round++ {
+				if err := r.MemcpyH2D(p, buf, 1<<20); err != nil {
+					res.err = err
+					return
+				}
+				if err := r.LaunchSync(p, kernel); err != nil {
+					res.err = err
+					return
+				}
+				if err := r.MemcpyD2H(p, buf, 1<<20); err != nil {
+					res.err = err
+					return
+				}
+				// Churn the allocation every round: a lost Free or a
+				// double-executed Malloc retry would wedge the tight
+				// memory budget below.
+				if err := r.Free(p, buf); err != nil {
+					res.err = err
+					return
+				}
+				buf, err = r.Malloc(p, bufBytes)
+				if err != nil {
+					res.err = err
+					return
+				}
+				res.rounds = append(res.rounds, p.Now())
+			}
+			if err := r.Free(p, buf); err != nil {
+				res.err = err
+			}
+		})
+	}
+	env.Run()
+	return results, r.Stats()
+}
+
+// TestResilientConcurrentStreamsDedupUnderLoss proves request-id dedup
+// holds when many outstanding calls interleave: four streams together
+// allocate the device's entire memory, and every round frees and
+// re-allocates each stream's quarter. Under 30% message loss every
+// Malloc and Free retries routinely; if a retried Malloc whose first
+// attempt actually executed were re-executed instead of replayed from
+// the dedup table, the duplicate allocation would leak a quarter of
+// device memory and the next round's Malloc would fail with
+// ErrOutOfMemory. Completing all rounds on a zero-headroom budget is
+// therefore a behavioral proof of exactly-once semantics.
+func TestResilientConcurrentStreamsDedupUnderLoss(t *testing.T) {
+	const procs, rounds = 4, 8
+	bufBytes := gpu.A100().MemoryBytes / procs
+	// Generous retries and an effectively disabled breaker pin the run to
+	// the primary endpoint: every lost response is resolved by dedup
+	// replay on the same server, so the exact-fill budget is meaningful.
+	// (Failover behavior under concurrency has its own test below.)
+	rc := ResilientConfig{
+		Config:   Config{Path: mustPathForSlack(t, 20*sim.Microsecond), Seed: 11},
+		Faults:   faults.Config{Seed: 11, DropProbability: 0.3},
+		Policy:   faults.Policy{CallTimeout: 200 * sim.Millisecond, MaxRetries: 25, BreakerThreshold: 1 << 30},
+		Standbys: 2,
+	}
+	results, st := runConcurrentStreams(t, rc, procs, rounds, bufBytes)
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("stream %d: %v", i, res.err)
+		}
+		if len(res.rounds) != rounds {
+			t.Fatalf("stream %d completed %d of %d rounds", i, len(res.rounds), rounds)
+		}
+	}
+	if st.Retries == 0 {
+		t.Error("30% loss produced no retries; faults not exercised")
+	}
+	// 4 streams × (1 + 8×5 + 1) calls each, counted once per logical call
+	// no matter how many attempts each took: the counter itself checks
+	// that interleaved retries were not double-counted as new calls.
+	wantCalls := int64(procs * (1 + rounds*5 + 1))
+	if st.Calls != wantCalls {
+		t.Errorf("Calls = %d, want %d logical calls", st.Calls, wantCalls)
+	}
+}
+
+// TestResilientConcurrentStreamsDeterministic replays the concurrent
+// workload twice and demands bit-identical per-stream completion times
+// and stats: resilience bookkeeping must stay deterministic even with
+// many outstanding calls in flight.
+func TestResilientConcurrentStreamsDeterministic(t *testing.T) {
+	rc := ResilientConfig{
+		Config:   Config{Path: mustPathForSlack(t, 50*sim.Microsecond), NoiseFraction: 0.2, Seed: 5},
+		Faults:   faults.Config{Seed: 5, DropProbability: 0.25},
+		Policy:   faults.Policy{CallTimeout: 200 * sim.Millisecond, MaxRetries: 25, BreakerThreshold: 1 << 30},
+		Standbys: 2,
+	}
+	r1, s1 := runConcurrentStreams(t, rc, 3, 6, 1<<30)
+	r2, s2 := runConcurrentStreams(t, rc, 3, 6, 1<<30)
+	if s1 != s2 {
+		t.Fatalf("stats differ across replays: %+v vs %+v", s1, s2)
+	}
+	for i := range r1 {
+		if r1[i].err != nil || r2[i].err != nil {
+			t.Fatalf("stream %d errored: %v / %v", i, r1[i].err, r2[i].err)
+		}
+		if len(r1[i].rounds) != len(r2[i].rounds) {
+			t.Fatalf("stream %d round counts differ: %d vs %d", i, len(r1[i].rounds), len(r2[i].rounds))
+		}
+		for j := range r1[i].rounds {
+			if r1[i].rounds[j] != r2[i].rounds[j] {
+				t.Fatalf("stream %d round %d: %v vs %v", i, j, r1[i].rounds[j], r2[i].rounds[j])
+			}
+		}
+	}
+}
+
+// TestResilientConcurrentStreamsBreaker drives the streams into a server
+// that stalls for far longer than the call timeout allows: consecutive
+// timeouts across the interleaved calls must trip the breaker and fail
+// the whole pipeline over (eventually to the node-local device), and
+// every stream must still finish.
+func TestResilientConcurrentStreamsBreaker(t *testing.T) {
+	rc := ResilientConfig{
+		Config: Config{Path: mustPathForSlack(t, 20*sim.Microsecond), Seed: 17},
+		Faults: faults.Config{
+			Seed:       17,
+			StallEvery: 1 * sim.Millisecond,
+			StallFor:   10 * sim.Second,
+		},
+		Policy: faults.Policy{
+			CallTimeout:      200 * sim.Millisecond,
+			MaxRetries:       1,
+			BreakerThreshold: 2,
+		},
+		Standbys: 1,
+	}
+	results, st := runConcurrentStreams(t, rc, 3, 4, 1<<28)
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("stream %d: %v", i, res.err)
+		}
+	}
+	if st.Timeouts == 0 {
+		t.Error("10s stalls against a 200ms timeout produced no timeouts")
+	}
+	if st.BreakerTrips == 0 {
+		t.Error("consecutive timeouts never tripped the breaker")
+	}
+	if st.Failovers == 0 {
+		t.Error("breaker trips never drove a failover")
+	}
+}

@@ -8,13 +8,18 @@ package sched
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 
 	"repro/internal/compose"
 	"repro/internal/fabric"
 	"repro/internal/sim"
 )
+
+// workloadSalt is this package's substream salt for WorkloadMix draws
+// (faults reserves everything below 0x10000; remoting holds
+// 0x10000–0x10002, slack 0x10010, serve the 0x20000 block).
+const workloadSalt uint64 = 0x10020
 
 // composeRowPath returns the row-scale fabric path CDI machines use.
 func composeRowPath() fabric.Path { return fabric.Preset(fabric.RowScale, 0) }
@@ -220,7 +225,7 @@ func WorkloadMix(n int, coresPerNode int, seed int64) []Job {
 	if n <= 0 {
 		panic("sched: non-positive job count")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewPCG(uint64(seed), workloadSalt))
 	var jobs []Job
 	var t sim.Time
 	for i := 0; i < n; i++ {
@@ -229,11 +234,11 @@ func WorkloadMix(n int, coresPerNode int, seed int64) []Job {
 		var req compose.Request
 		switch i % 3 {
 		case 0: // CPU-dominant (LAMMPS-like): many cores, 1 GPU
-			req = compose.Request{Cores: coresPerNode * (1 + rng.Intn(3)), GPUs: 1}
+			req = compose.Request{Cores: coresPerNode * (1 + rng.IntN(3)), GPUs: 1}
 		case 1: // GPU-dominant (CosmoFlow-like): few cores, several GPUs
-			req = compose.Request{Cores: 2 + rng.Intn(4), GPUs: 2 + rng.Intn(6)}
+			req = compose.Request{Cores: 2 + rng.IntN(4), GPUs: 2 + rng.IntN(6)}
 		default: // balanced
-			req = compose.Request{Cores: coresPerNode, GPUs: 1 + rng.Intn(2)}
+			req = compose.Request{Cores: coresPerNode, GPUs: 1 + rng.IntN(2)}
 		}
 		req.Name = fmt.Sprintf("job%03d", i)
 		req.FlexCores = true

@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Policy selects how the admission queue is drained onto the GPU.
+type Policy int
+
+const (
+	// NoBatch serves requests FCFS one at a time: prefill, then every
+	// decode step at batch width one.
+	NoBatch Policy = iota
+	// FixedBatch takes up to MaxBatch queued requests and runs the whole
+	// batch to completion: every member decodes for as many steps as the
+	// longest output in the batch, and all complete together — classic
+	// static batching with its head-of-line penalty.
+	FixedBatch
+	// Continuous re-admits from the queue between decode iterations:
+	// finished sequences leave the batch immediately and new requests
+	// join it without waiting for the batch to drain (iteration-level
+	// scheduling, the vLLM/Orca discipline).
+	Continuous
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case NoBatch:
+		return "nobatch"
+	case FixedBatch:
+		return "fixed"
+	case Continuous:
+		return "continuous"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Model describes the served model: parameter count drives the prefill and
+// decode kernel costs, BytesPerToken the host↔device traffic per token
+// (token ids in, sampled ids out — serving transfers are tiny, which is
+// exactly why per-call latency, not bandwidth, dominates its slack
+// sensitivity).
+type Model struct {
+	Name          string
+	Params        float64
+	BytesPerToken int64
+}
+
+// DefaultModel is a 100M-parameter transformer: decode steps land in the
+// hundreds of microseconds on the A100 model, the regime where row-scale
+// slack is a material fraction of every iteration.
+func DefaultModel() Model {
+	return Model{Name: "transformer-100m", Params: 1e8, BytesPerToken: 4}
+}
+
+// Config shapes one serving engine (one GPU replica).
+type Config struct {
+	// Policy is the batching discipline; MaxBatch caps the decode batch
+	// width for FixedBatch and Continuous (default 8).
+	Policy   Policy
+	MaxBatch int
+	// Model is the served model; a zero Model takes DefaultModel.
+	Model Model
+	// Tenants is the tenant table requests index into (for SLO lookup).
+	Tenants []Tenant
+	// RecordSpans collects request and batch spans for Chrome-trace
+	// export (off by default: spans allocate).
+	RecordSpans bool
+}
+
+func (c *Config) withDefaults() error {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.Model.Params <= 0 {
+		c.Model = DefaultModel()
+	}
+	if c.Model.BytesPerToken <= 0 {
+		return fmt.Errorf("serve: model %q has no BytesPerToken", c.Model.Name)
+	}
+	if len(c.Tenants) == 0 {
+		return fmt.Errorf("serve: config has no tenants")
+	}
+	return nil
+}
+
+// workspaceBytes is the device allocation a replica holds for activations
+// and KV state; transfers stage through it.
+const workspaceBytes = 64 << 20
+
+// pending is one request waiting in, or admitted from, the queue.
+type pending struct {
+	req       Request
+	remaining int // decode steps left
+}
+
+// Engine serves one replica's request stream: an arrival process feeds the
+// admission queue on the sim clock and a batcher process drains it through
+// the Transport according to the configured policy. Both run as sim procs;
+// results are valid after env.Run() returns.
+type Engine struct {
+	env   *sim.Env
+	tr    Transport
+	cfg   Config
+	total int
+
+	queue     []*pending
+	more      *sim.Signal
+	completed int
+
+	m     *Metrics
+	spans []trace.AppSpan
+	err   error
+
+	// workspace is the replica's device allocation; transfers stage
+	// through it.
+	workspace gpu.Ptr
+}
+
+// Start validates the configuration and spawns the engine's arrival and
+// batcher processes on env. The caller runs the simulation (env.Run) and
+// then reads Err, Metrics and Spans.
+func Start(env *sim.Env, tr Transport, cfg Config, reqs []Request) (*Engine, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	for _, r := range reqs {
+		if r.Tenant < 0 || r.Tenant >= len(cfg.Tenants) {
+			return nil, fmt.Errorf("serve: request %d names tenant %d of %d", r.ID, r.Tenant, len(cfg.Tenants))
+		}
+		if r.PromptTokens < 1 || r.OutputTokens < 1 {
+			return nil, fmt.Errorf("serve: request %d has empty prompt or output", r.ID)
+		}
+	}
+	e := &Engine{
+		env:   env,
+		tr:    tr,
+		cfg:   cfg,
+		total: len(reqs),
+		more:  sim.NewSignal(env),
+		m:     newMetrics(),
+	}
+	e.m.Requests = len(reqs)
+	env.Spawn("serve-arrivals", func(p *sim.Proc) { e.arrivals(p, reqs) })
+	env.Spawn("serve-batcher", e.batcher)
+	return e, nil
+}
+
+// Err returns the first transport error the engine hit (nil on success).
+func (e *Engine) Err() error { return e.err }
+
+// Metrics returns the engine's measurement record.
+func (e *Engine) Metrics() *Metrics { return e.m }
+
+// Spans returns the recorded serving spans (empty unless RecordSpans).
+func (e *Engine) Spans() []trace.AppSpan { return e.spans }
+
+// Completed returns how many requests have finished.
+func (e *Engine) Completed() int { return e.completed }
+
+// arrivals delivers the pre-generated schedule into the admission queue.
+func (e *Engine) arrivals(p *sim.Proc, reqs []Request) {
+	for _, r := range reqs {
+		if d := r.Arrival.Sub(p.Now()); d > 0 {
+			p.Sleep(d)
+		}
+		e.queue = append(e.queue, &pending{req: r, remaining: r.OutputTokens})
+		e.more.Fire()
+	}
+}
+
+// batcher drains the queue until every request has completed.
+func (e *Engine) batcher(p *sim.Proc) {
+	in, err := e.tr.Malloc(p, workspaceBytes)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.workspace = in
+	for e.completed < e.total {
+		for len(e.queue) == 0 {
+			e.more.Wait(p)
+		}
+		switch e.cfg.Policy {
+		case NoBatch:
+			err = e.stepNoBatch(p)
+		case FixedBatch:
+			err = e.stepFixed(p)
+		case Continuous:
+			err = e.stepContinuous(p)
+		default:
+			err = fmt.Errorf("serve: unknown policy %v", e.cfg.Policy)
+		}
+		if err != nil {
+			e.err = err
+			return
+		}
+	}
+	if err := e.tr.Free(p, in); err != nil {
+		e.err = err
+	}
+}
+
+// pop removes and returns the queue head.
+func (e *Engine) pop() *pending {
+	r := e.queue[0]
+	e.queue = e.queue[1:]
+	return r
+}
+
+// finish moves the request's output back to the host and records its
+// latency against the owning tenant's SLO.
+func (e *Engine) finish(p *sim.Proc, r *pending) error {
+	if err := e.tr.MemcpyD2H(p, e.workspace, int64(r.req.OutputTokens)*e.cfg.Model.BytesPerToken); err != nil {
+		return err
+	}
+	done := p.Now()
+	e.m.record(done.Sub(r.req.Arrival), e.cfg.Tenants[r.req.Tenant].SLO)
+	e.completed++
+	if e.cfg.RecordSpans {
+		e.spans = append(e.spans, trace.AppSpan{
+			Name:  fmt.Sprintf("req %d (%s)", r.req.ID, e.cfg.Tenants[r.req.Tenant].Name),
+			Cat:   "request",
+			Track: r.req.Tenant,
+			Start: r.req.Arrival,
+			End:   done,
+		})
+	}
+	return nil
+}
+
+// admit stages the request's prompt onto the device and returns its
+// prefill kernel.
+func (e *Engine) admit(p *sim.Proc, r *pending) (gpu.Kernel, error) {
+	n := int64(r.req.PromptTokens) * e.cfg.Model.BytesPerToken
+	if err := e.tr.MemcpyH2D(p, e.workspace, n); err != nil {
+		return gpu.Kernel{}, err
+	}
+	return gpu.Prefill(r.req.PromptTokens, e.cfg.Model.Params), nil
+}
+
+// batchSpan records one batch execution span.
+func (e *Engine) batchSpan(kind string, n int, start, end sim.Time) {
+	if e.cfg.RecordSpans {
+		e.spans = append(e.spans, trace.AppSpan{
+			Name:  fmt.Sprintf("%s n=%d", kind, n),
+			Cat:   "batch",
+			Track: batchTrack,
+			Start: start,
+			End:   end,
+		})
+	}
+}
+
+// batchTrack is the span track batches render on (above the per-tenant
+// request tracks).
+const batchTrack = -1
+
+// stepNoBatch serves exactly one request FCFS.
+func (e *Engine) stepNoBatch(p *sim.Proc) error {
+	e.m.QueueDepths = append(e.m.QueueDepths, float64(len(e.queue)))
+	r := e.pop()
+	start := p.Now()
+	prefill, err := e.admit(p, r)
+	if err != nil {
+		return err
+	}
+	ks := make([]gpu.Kernel, 0, 1+r.remaining)
+	ks = append(ks, prefill)
+	for i := 0; i < r.remaining; i++ {
+		ks = append(ks, gpu.DecodeStep(1, e.cfg.Model.Params))
+	}
+	if err := e.tr.RunKernels(p, ks); err != nil {
+		return err
+	}
+	for i := 0; i < r.remaining; i++ {
+		e.m.BatchSizes = append(e.m.BatchSizes, 1)
+	}
+	r.remaining = 0
+	if err := e.finish(p, r); err != nil {
+		return err
+	}
+	e.batchSpan("nobatch", 1, start, p.Now())
+	return nil
+}
+
+// stepFixed serves one static batch to completion.
+func (e *Engine) stepFixed(p *sim.Proc) error {
+	e.m.QueueDepths = append(e.m.QueueDepths, float64(len(e.queue)))
+	var batch []*pending
+	for len(batch) < e.cfg.MaxBatch && len(e.queue) > 0 {
+		batch = append(batch, e.pop())
+	}
+	start := p.Now()
+	var ks []gpu.Kernel
+	steps := 0
+	for _, r := range batch {
+		prefill, err := e.admit(p, r)
+		if err != nil {
+			return err
+		}
+		ks = append(ks, prefill)
+		if r.remaining > steps {
+			steps = r.remaining
+		}
+	}
+	// Static batching pads every sequence to the longest: the batch holds
+	// the device for steps iterations at full width.
+	for i := 0; i < steps; i++ {
+		ks = append(ks, gpu.DecodeStep(len(batch), e.cfg.Model.Params))
+	}
+	if err := e.tr.RunKernels(p, ks); err != nil {
+		return err
+	}
+	for i := 0; i < steps; i++ {
+		e.m.BatchSizes = append(e.m.BatchSizes, float64(len(batch)))
+	}
+	for _, r := range batch {
+		r.remaining = 0
+		if err := e.finish(p, r); err != nil {
+			return err
+		}
+	}
+	e.batchSpan("fixed", len(batch), start, p.Now())
+	return nil
+}
+
+// stepContinuous runs iteration-level scheduling until the active batch
+// and the queue are both empty, admitting new requests between decode
+// iterations.
+func (e *Engine) stepContinuous(p *sim.Proc) error {
+	var active []*pending
+	for {
+		e.m.QueueDepths = append(e.m.QueueDepths, float64(len(e.queue)))
+		start := p.Now()
+		var ks []gpu.Kernel
+		for len(active) < e.cfg.MaxBatch && len(e.queue) > 0 {
+			r := e.pop()
+			prefill, err := e.admit(p, r)
+			if err != nil {
+				return err
+			}
+			ks = append(ks, prefill)
+			active = append(active, r)
+		}
+		if len(active) == 0 {
+			return nil
+		}
+		width := len(active)
+		ks = append(ks, gpu.DecodeStep(width, e.cfg.Model.Params))
+		if err := e.tr.RunKernels(p, ks); err != nil {
+			return err
+		}
+		e.m.BatchSizes = append(e.m.BatchSizes, float64(width))
+		keep := active[:0]
+		for _, r := range active {
+			r.remaining--
+			if r.remaining <= 0 {
+				if err := e.finish(p, r); err != nil {
+					return err
+				}
+				continue
+			}
+			keep = append(keep, r)
+		}
+		e.batchSpan("iter", width, start, p.Now())
+		active = keep
+	}
+}

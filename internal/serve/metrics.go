@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Metrics is the raw measurement record of one (or several merged)
+// serving engines. Slices are in completion order, which is deterministic.
+type Metrics struct {
+	// Requests is the offered load; Completed counts requests served.
+	Requests  int
+	Completed int
+	// Latencies holds each completed request's arrival→completion latency
+	// in seconds, in completion order.
+	Latencies []float64
+	// SLOMet counts completed requests that finished within their
+	// tenant's SLO.
+	SLOMet int
+	// BatchSizes records the decode batch width of every executed
+	// iteration; QueueDepths records the admission-queue depth observed at
+	// the start of each iteration.
+	BatchSizes  []float64
+	QueueDepths []float64
+	// Hist accumulates the same latencies into an HDR-style fixed-edge
+	// log histogram (1 µs – 1000 s, 8 bins/decade) for constant-space
+	// aggregation across engines and windows.
+	Hist *stats.LatencyHist
+}
+
+// newMetrics returns an empty record.
+func newMetrics() *Metrics {
+	return &Metrics{Hist: stats.NewLatencyHist(1e-6, 1e3, 8)}
+}
+
+// record registers one completed request.
+func (m *Metrics) record(latency sim.Duration, slo sim.Duration) {
+	m.Completed++
+	m.Latencies = append(m.Latencies, latency.Seconds())
+	m.Hist.Add(latency.Seconds())
+	if latency <= slo {
+		m.SLOMet++
+	}
+}
+
+// Merge folds other engines' metrics into m (for multi-replica pools).
+// Slices concatenate in argument order, so merging is deterministic as
+// long as the caller passes replicas in a fixed order.
+func (m *Metrics) Merge(others ...*Metrics) {
+	for _, o := range others {
+		m.Requests += o.Requests
+		m.Completed += o.Completed
+		m.SLOMet += o.SLOMet
+		m.Latencies = append(m.Latencies, o.Latencies...)
+		m.BatchSizes = append(m.BatchSizes, o.BatchSizes...)
+		m.QueueDepths = append(m.QueueDepths, o.QueueDepths...)
+		for _, l := range o.Latencies {
+			m.Hist.Add(l)
+		}
+	}
+}
+
+// Report is the SLO-grade summary of a serving window.
+type Report struct {
+	Requests  int
+	Completed int
+	// Latency quantiles over completed requests.
+	P50, P95, P99, P999 sim.Duration
+	// SLOAttainment is the fraction of offered requests that completed
+	// within their tenant's SLO; Goodput is the same count expressed as a
+	// rate over the serving window (requests/second).
+	SLOAttainment float64
+	Goodput       float64
+	// Batch-size and queue-depth distribution summaries.
+	MeanBatch float64
+	MaxBatch  float64
+	MeanQueue float64
+	MaxQueue  float64
+}
+
+// Report summarizes the metrics for a window of the given length.
+func (m *Metrics) Report(window sim.Duration) Report {
+	qs := stats.Quantiles(m.Latencies, []float64{0.50, 0.95, 0.99, 0.999})
+	r := Report{
+		Requests:  m.Requests,
+		Completed: m.Completed,
+		P50:       sim.Duration(qs[0]),
+		P95:       sim.Duration(qs[1]),
+		P99:       sim.Duration(qs[2]),
+		P999:      sim.Duration(qs[3]),
+	}
+	if m.Requests > 0 {
+		r.SLOAttainment = float64(m.SLOMet) / float64(m.Requests)
+	}
+	if window > 0 {
+		r.Goodput = float64(m.SLOMet) / window.Seconds()
+	}
+	if len(m.BatchSizes) > 0 {
+		r.MeanBatch = stats.Mean(m.BatchSizes)
+		r.MaxBatch = stats.Max(m.BatchSizes)
+	}
+	if len(m.QueueDepths) > 0 {
+		r.MeanQueue = stats.Mean(m.QueueDepths)
+		r.MaxQueue = stats.Max(m.QueueDepths)
+	}
+	return r
+}

@@ -13,12 +13,17 @@
 package slack
 
 import (
-	"math/rand"
+	"math/rand/v2"
 
 	"repro/internal/cuda"
 	"repro/internal/fabric"
 	"repro/internal/sim"
 )
+
+// jitterSalt is this package's substream salt for jitter draws (faults
+// reserves everything below 0x10000; remoting holds 0x10000–0x10002,
+// sched 0x10020, serve the 0x20000 block).
+const jitterSalt uint64 = 0x10010
 
 // Injector delays CUDA API calls. It implements cuda.Interposer; register
 // it with Context.Interpose. The zero value injects nothing.
@@ -37,6 +42,10 @@ type Injector struct {
 	// weakness the paper notes for that approach).
 	symbols map[string]bool
 
+	// observer, when set, is told about every injected delay (the trace
+	// layer renders these as slack spans).
+	observer func(name string, start, end sim.Time)
+
 	delayedCalls  int64
 	totalInjected sim.Duration
 }
@@ -45,15 +54,23 @@ type Injector struct {
 type Option func(*Injector)
 
 // WithJitter makes each injected delay uniform in amount×[1-f, 1+f],
-// seeded deterministically. f must be in [0, 1).
+// drawn from a salted PCG substream of seed so jitter draws can never
+// alias another consumer of the same seed. f must be in [0, 1).
 func WithJitter(f float64, seed int64) Option {
 	if f < 0 || f >= 1 {
 		panic("slack: jitter fraction must be in [0,1)")
 	}
 	return func(in *Injector) {
 		in.jitterFrac = f
-		in.rng = rand.New(rand.NewSource(seed))
+		in.rng = rand.New(rand.NewPCG(uint64(seed), jitterSalt))
 	}
+}
+
+// WithObserver reports every injected delay to fn as a (call name, start,
+// end) interval on the sim clock — the seam the trace layer uses to draw
+// slack spans.
+func WithObserver(fn func(name string, start, end sim.Time)) Option {
+	return func(in *Injector) { in.observer = fn }
 }
 
 // WithClasses restricts injection to the listed call classes.
@@ -152,9 +169,13 @@ func (in *Injector) After(p *sim.Proc, info cuda.CallInfo) {
 		u := 1 + in.jitterFrac*(2*in.rng.Float64()-1)
 		d = sim.Duration(float64(d) * u)
 	}
+	start := p.Now()
 	p.Sleep(d)
 	in.delayedCalls++
 	in.totalInjected += d
+	if in.observer != nil {
+		in.observer(info.Name, start, p.Now())
+	}
 }
 
 var _ cuda.Interposer = (*Injector)(nil)

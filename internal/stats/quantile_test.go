@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantilesHandComputed(t *testing.T) {
+	// Unsorted on purpose: Quantiles must sort a copy.
+	xs := []float64{40, 10, 30, 20}
+	qs := []float64{0, 0.25, 0.5, 0.75, 1}
+	// Linear interpolation between order statistics of {10,20,30,40}:
+	// rank = q*(n-1) = q*3.
+	want := []float64{10, 17.5, 25, 32.5, 40}
+	got := Quantiles(xs, qs)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Quantiles[%d] (q=%v) = %v, want %v", i, qs[i], got[i], want[i])
+		}
+	}
+	// The input must be untouched.
+	if xs[0] != 40 || xs[1] != 10 || xs[2] != 30 || xs[3] != 20 {
+		t.Errorf("Quantiles mutated its input: %v", xs)
+	}
+}
+
+func TestQuantilesMatchesPercentile(t *testing.T) {
+	xs := []float64{3.5, -1, 7, 0, 2, 2, 9.25}
+	for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 100} {
+		got := Quantiles(xs, []float64{p / 100})[0]
+		want := Percentile(xs, p)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("Quantiles(q=%v) = %v, Percentile(p=%v) = %v", p/100, got, p, want)
+		}
+	}
+}
+
+func TestQuantilesEdgeCases(t *testing.T) {
+	for _, q := range Quantiles(nil, []float64{0, 0.5, 1}) {
+		if !math.IsNaN(q) {
+			t.Errorf("empty input should give NaN, got %v", q)
+		}
+	}
+	got := Quantiles([]float64{42}, []float64{0, 0.5, 1})
+	for i, g := range got {
+		if g != 42 {
+			t.Errorf("single-element quantile %d = %v, want 42", i, g)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range quantile should panic")
+		}
+	}()
+	Quantiles([]float64{1, 2}, []float64{1.5})
+}
+
+func TestLatencyHistHandComputed(t *testing.T) {
+	// One bin per decade over [1µs, 1ms] in seconds: 3 bins with edges at
+	// (approximately) 1e-6, 1e-5, 1e-4, 1e-3.
+	h := NewLatencyHist(1e-6, 1e-3, 1)
+	if len(h.Counts()) != 3 {
+		t.Fatalf("bins = %d, want 3", len(h.Counts()))
+	}
+	for _, x := range []float64{2e-6, 5e-6, 3e-5, 2e-4, 5e-7, 5e-3} {
+		h.Add(x)
+	}
+	// 5e-7 clamps into the first bin, 5e-3 into the last.
+	wantCounts := []int64{3, 1, 2}
+	for i, c := range h.Counts() {
+		if c != wantCounts[i] {
+			t.Errorf("bin %d count = %d, want %d", i, c, wantCounts[i])
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	if h.Min() != 5e-7 || h.Max() != 5e-3 {
+		t.Errorf("Min/Max = %v/%v, want 5e-7/5e-3", h.Min(), h.Max())
+	}
+
+	// rank(0.5) = ceil(0.5*6) = 3, reached in bin 0 → upper edge ≈ 1e-5.
+	if got := h.Quantile(0.5); !almostEqual(got, 1e-5, 1e-18) {
+		t.Errorf("Quantile(0.5) = %v, want ~1e-5", got)
+	}
+	// rank(0.6) = ceil(3.6) = 4, reached in bin 1 → upper edge ≈ 1e-4.
+	if got := h.Quantile(0.6); !almostEqual(got, 1e-4, 1e-17) {
+		t.Errorf("Quantile(0.6) = %v, want ~1e-4", got)
+	}
+	// rank(1) = 6, reached in the saturated last bin → capped at its upper
+	// edge (the true max 5e-3 lies above the histogram's range).
+	if got := h.Quantile(1); !almostEqual(got, 1e-3, 1e-16) {
+		t.Errorf("Quantile(1) = %v, want ~1e-3", got)
+	}
+
+	// Bins wholly at or below 2e-4: bins 0 and 1 → 3+1 samples.
+	if got := h.CountAtOrBelow(2e-4); got != 4 {
+		t.Errorf("CountAtOrBelow(2e-4) = %d, want 4", got)
+	}
+}
+
+func TestLatencyHistQuantileNeverExceedsMax(t *testing.T) {
+	// When the population maximum sits inside the crossing bin, the
+	// estimate is capped at the exact max rather than the bin edge.
+	h := NewLatencyHist(1e-6, 1, 4)
+	h.Add(3e-3)
+	h.Add(4e-3)
+	if got := h.Quantile(0.99); got > 4e-3 {
+		t.Errorf("Quantile(0.99) = %v exceeds max 4e-3", got)
+	}
+	if got := h.Quantile(0); got <= 0 || got > 4e-3 {
+		t.Errorf("Quantile(0) = %v out of (0, max]", got)
+	}
+}
+
+func TestLatencyHistEmpty(t *testing.T) {
+	h := NewLatencyHist(1e-6, 1, 8)
+	if !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Min()) || !math.IsNaN(h.Max()) {
+		t.Error("empty histogram should report NaN quantile/min/max")
+	}
+	if h.Count() != 0 || h.CountAtOrBelow(1) != 0 {
+		t.Error("empty histogram should count zero")
+	}
+}
+
+func TestLatencyHistDeterministicAcrossOrder(t *testing.T) {
+	xs := []float64{2e-6, 5e-4, 3e-5, 2e-4, 7e-6, 9e-5}
+	a := NewLatencyHist(1e-6, 1e-3, 4)
+	b := NewLatencyHist(1e-6, 1e-3, 4)
+	for _, x := range xs {
+		a.Add(x)
+	}
+	for i := len(xs) - 1; i >= 0; i-- {
+		b.Add(xs[i])
+	}
+	for i := range a.Counts() {
+		if a.Counts()[i] != b.Counts()[i] {
+			t.Fatalf("bin %d differs across insertion order: %d vs %d", i, a.Counts()[i], b.Counts()[i])
+		}
+	}
+	if a.Quantile(0.99) != b.Quantile(0.99) {
+		t.Error("quantile differs across insertion order")
+	}
+}

@@ -23,7 +23,7 @@ type chromeEvent struct {
 // it can be inspected in chrome://tracing or Perfetto — the visual
 // counterpart of the NSys timelines the paper reads. Kernels and copies
 // appear as complete events on per-stream tracks; API calls on a host
-// track (pid 0 = host, pid 1 = device).
+// track (pid 0 = host, pid 1 = device, pid 2 = application spans).
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
 	var events []chromeEvent
 	toUs := func(x float64) float64 { return x * 1e6 }
@@ -65,6 +65,18 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			Pid:  1,
 			Tid:  1000 + c.Stream, // copy tracks below the kernel tracks
 			Args: map[string]any{"bytes": c.Bytes},
+		})
+	}
+
+	for _, s := range t.AppSpans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   toUs(float64(s.Start)),
+			Dur:  toUs(float64(s.End - s.Start)),
+			Pid:  2,
+			Tid:  s.Track,
 		})
 	}
 

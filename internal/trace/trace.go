@@ -26,6 +26,19 @@ type APICall struct {
 	End   sim.Time
 }
 
+// AppSpan is one logical interval on an application-defined track —
+// subsystems above the CUDA layer (request lifetimes, batches, injected
+// slack) annotate the recording with these. They render on their own
+// process row in the Chrome export, alongside the host-API and device
+// rows. (Span, by contrast, is a device busy interval.)
+type AppSpan struct {
+	Name  string
+	Cat   string
+	Track int
+	Start sim.Time
+	End   sim.Time
+}
+
 // Trace is a completed recording.
 type Trace struct {
 	// Label names the traced workload ("lammps", "cosmoflow", "proxy-2^13").
@@ -35,6 +48,9 @@ type Trace struct {
 	Kernels []gpu.KernelEvent
 	Copies  []gpu.CopyEvent
 	Calls   []APICall
+	// AppSpans holds application-level intervals recorded outside the
+	// CUDA interposer seam (may be empty).
+	AppSpans []AppSpan
 }
 
 // Recorder captures device and API events. Register it on each device with

@@ -27,6 +27,17 @@ go run ./cmd/cdivet -sarif cdivet.sarif ./...
 echo "== cdivet -directives ./..."
 go run ./cmd/cdivet -directives ./...
 
+echo "== reproduce -exp serving smoke (-j byte-identity + trace)"
+serving_trace="$(mktemp)"
+serving_j1="$(go run ./cmd/reproduce -exp serving -j 1)"
+serving_j8="$(go run ./cmd/reproduce -exp serving -j 8 -trace "$serving_trace")"
+if [ "$serving_j1" != "${serving_j8%$'\n'wrote serving trace*}" ]; then
+  echo "serving output differs between -j 1 and -j 8" >&2
+  exit 1
+fi
+[ -s "$serving_trace" ] || { echo "serving trace file is empty" >&2; exit 1; }
+rm -f "$serving_trace"
+
 echo "== bench.sh --smoke"
 scripts/bench.sh --smoke
 
