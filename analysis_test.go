@@ -3,8 +3,15 @@ package cdi
 // The repo-wide determinism lint gate: running the cdivet suite is part of
 // tier-1 testing, so `go test ./...` fails the moment any package breaks a
 // determinism invariant (wall-clock reads, global rand, bare goroutines,
-// order-dependent map iteration, exact float comparison, dropped errors).
+// order-dependent map iteration, exact float comparison, dropped errors) or
+// introduces a new hot-path allocation the hotpath/escape rules can see.
 // The same suite is available interactively as `go run ./cmd/cdivet ./...`.
+//
+// Accepted findings live in cdivet_baseline.json (mostly `escape` reports on
+// constructors that intentionally return heap objects). The baseline is
+// exact-match: a fixed finding turns its entry stale and this test fails, so
+// the file can only shrink or be deliberately re-cut with
+// `go run ./cmd/cdivet -write-baseline cdivet_baseline.json ./...`.
 
 import (
 	"testing"
@@ -12,11 +19,25 @@ import (
 	"repro/internal/analysis"
 )
 
+const baselineFile = "cdivet_baseline.json"
+
 func TestDeterminismInvariants(t *testing.T) {
-	findings, err := analysis.Run(analysis.Config{Dir: ".", Patterns: []string{"./..."}})
+	m, err := analysis.LoadModule(".")
+	if err != nil {
+		t.Fatalf("cdivet suite failed to load module: %v", err)
+	}
+	findings, err := analysis.RunModule(m, analysis.Config{})
 	if err != nil {
 		t.Fatalf("cdivet suite failed to run: %v", err)
 	}
+	b, err := analysis.ReadBaseline(baselineFile)
+	if err != nil {
+		t.Fatalf("read %s: %v", baselineFile, err)
+	}
+	for _, e := range b.Stale(findings, m.Root) {
+		t.Errorf("stale baseline entry (finding fixed? re-cut the baseline): %s %s %q", e.Rule, e.File, e.Message)
+	}
+	findings, _ = b.Filter(findings, m.Root)
 	for _, f := range findings {
 		t.Errorf("%s", f)
 	}

@@ -21,13 +21,16 @@
 //	taint       nondeterministic value reaching a result-emitting sink
 //	simunits    unitless literals / float64 round-trips in sim.Duration math
 //	waitlock    sync.Mutex held across a simulated wait point
+//	hotpath     per-iteration allocation patterns in benchmark-reachable code
+//	escape      escaping heap allocations in hot loops, with escape reasons
 //
-// The first six are per-file syntactic/type checks. The last three run on a
-// module-wide dataflow layer (dataflow.go, callgraph.go): taint propagates
-// nondeterminism through assignments, returns, and cross-package calls and
-// reports only at sinks, so the sorted-keys idiom stays silent while a
-// map-order value laundered through a helper in another package is still
-// caught.
+// The first six are per-file syntactic/type checks. The rest run on a
+// module-wide dataflow layer (dataflow.go, callgraph.go, hotness.go): taint
+// propagates nondeterminism through assignments, returns, and cross-package
+// calls and reports only at sinks, so the sorted-keys idiom stays silent
+// while a map-order value laundered through a helper in another package is
+// still caught; hotpath and escape work over the set of functions reachable
+// from the benchmark call graph and the configured steady-state roots.
 //
 // Intentional exceptions are suppressed in source with a justified
 // directive on, or immediately above, the offending line:
@@ -138,6 +141,11 @@ func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	*mp.findings = append(*mp.findings, newFinding(mp.Module.Fset, mp.Analyzer.Name, pos, nil, format, args...))
 }
 
+// ReportFixf records a finding at pos carrying a machine-applicable fix.
+func (mp *ModulePass) ReportFixf(pos token.Pos, fix *Fix, format string, args ...any) {
+	*mp.findings = append(*mp.findings, newFinding(mp.Module.Fset, mp.Analyzer.Name, pos, fix, format, args...))
+}
+
 // IsTestFile reports whether f is a _test.go file.
 func (p *Pass) IsTestFile(f *ast.File) bool {
 	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
@@ -155,6 +163,8 @@ func All() []*Analyzer {
 		Taint,
 		SimUnits,
 		WaitLock,
+		Hotpath,
+		Escape,
 	}
 }
 

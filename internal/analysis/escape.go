@@ -1,0 +1,508 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Escape flags heap allocations proper — make, new, slice/map composite
+// literals, &struct literals — on hot paths, but only when the allocated
+// value actually escapes its function by the package's heuristic
+// intraprocedural escape analysis: returned, stored to a heap-reachable
+// location, captured by an outliving closure, passed to an interface
+// parameter, sent on a channel, or passed to a call that may retain it.
+// Stack-allocatable sites are suppressed — that is the rule's value over a
+// naive "allocation in loop" check — and every finding names its escape
+// reason. TestEscapeGcflagsCrossValidation keeps the heuristic honest
+// against the real compiler's -gcflags=-m=2 verdicts on a fixed corpus.
+//
+// Known gaps (heuristic, not the compiler's analysis): classification is
+// intraprocedural, so any call argument is conservatively "may retain it"
+// unless the callee is a recognized builtin; field stores are tracked one
+// level (x.f = v escapes v regardless of x's own fate); dereference and
+// field reads — including method-call receivers — are treated as value
+// copies that never escape the allocation; a value reaching a tracked
+// local is followed through := aliases but not through control-flow
+// merges.
+var Escape = &Analyzer{
+	Name:      "escape",
+	Doc:       "escaping heap allocations (make/new/composite literals) in benchmark-reachable loops, with escape reasons",
+	RunModule: runEscape,
+}
+
+func runEscape(mp *ModulePass) {
+	g := buildCallGraph(mp.Module)
+	h := computeHotness(g)
+	for _, n := range g.nodes {
+		hf := h.fns[n]
+		if hf == nil || analysisExempt(n) {
+			continue
+		}
+		sites := allocSites(n)
+		if len(sites) == 0 {
+			continue
+		}
+		panics := panicArgRanges(n.pkg.Info, n.decl.Body)
+		ec := newEscapeContext(n)
+		for _, s := range sites {
+			if !hf.looped && !inLoop(hf.loops, s.expr.Pos()) {
+				continue
+			}
+			if inRanges(panics, s.expr.Pos()) {
+				continue // a value built for a panic is not steady-state work
+			}
+			reason, escapes := ec.classify(s)
+			if !escapes {
+				continue
+			}
+			mp.Reportf(s.expr.Pos(),
+				"%s allocates on the heap every iteration (%s) on a hot path (%s); hoist it out of the loop or reuse a pooled/preallocated object",
+				s.desc, reason, hf.root)
+		}
+	}
+}
+
+// allocSite is one heap-allocation candidate expression.
+type allocSite struct {
+	expr ast.Expr // the allocating expression (make/new call, lit, &lit)
+	desc string
+	kind string // "make-slice", "make-map", "make-chan", "new", "lit", "ptr-lit"
+}
+
+// allocSites collects the outermost allocation expressions in a function
+// body. Nested composite literals share the fate of their outermost
+// enclosing literal and are not reported separately. Plain struct literals
+// are values, not allocations, and are skipped (boxing is hotpath's job).
+func allocSites(n *funcNode) []allocSite {
+	info := n.pkg.Info
+	var sites []allocSite
+	skip := map[ast.Node]bool{}
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		if skip[node] {
+			return true
+		}
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(node.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			bi, ok := info.Uses[id].(*types.Builtin)
+			if !ok {
+				return true
+			}
+			switch bi.Name() {
+			case "make":
+				tv, ok := info.Types[node]
+				if !ok {
+					return true
+				}
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					sites = append(sites, allocSite{node, "make of " + typeShort(tv.Type), "make-slice"})
+				case *types.Map:
+					sites = append(sites, allocSite{node, "make of " + typeShort(tv.Type), "make-map"})
+				case *types.Chan:
+					sites = append(sites, allocSite{node, "make of " + typeShort(tv.Type), "make-chan"})
+				}
+			case "new":
+				sites = append(sites, allocSite{node, "new(...)", "new"})
+			}
+		case *ast.UnaryExpr:
+			if node.Op != token.AND {
+				return true
+			}
+			if lit, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+				sites = append(sites, allocSite{node, "&" + litName(info, lit) + " literal", "ptr-lit"})
+				markNestedLits(lit, skip)
+				skip[lit] = true
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[node]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				sites = append(sites, allocSite{node, typeShort(tv.Type) + " literal", "lit"})
+				markNestedLits(node, skip)
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// markNestedLits marks composite literals nested inside lit so they are not
+// collected as independent sites.
+func markNestedLits(lit *ast.CompositeLit, skip map[ast.Node]bool) {
+	ast.Inspect(lit, func(node ast.Node) bool {
+		if inner, ok := node.(*ast.CompositeLit); ok && inner != lit {
+			skip[inner] = true
+		}
+		if u, ok := node.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			skip[u] = true
+		}
+		return true
+	})
+}
+
+// litName renders a composite literal's type name for messages.
+func litName(info *types.Info, lit *ast.CompositeLit) string {
+	if tv, ok := info.Types[lit]; ok {
+		return typeShort(tv.Type)
+	}
+	return "composite"
+}
+
+// typeShort renders a type with base package names only.
+func typeShort(t types.Type) string { return types.TypeString(t, shortQualifier) }
+
+// escapeContext classifies how values escape one function body.
+type escapeContext struct {
+	n       *funcNode
+	info    *types.Info
+	parents map[ast.Node]ast.Node
+}
+
+func newEscapeContext(n *funcNode) *escapeContext {
+	ec := &escapeContext{n: n, info: n.pkg.Info, parents: map[ast.Node]ast.Node{}}
+	var stack []ast.Node
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			ec.parents[node] = stack[len(stack)-1]
+		}
+		stack = append(stack, node)
+		return true
+	})
+	return ec
+}
+
+// classify reports whether the allocated value escapes the function and
+// why. Channel buffers are always heap-allocated regardless of use.
+func (ec *escapeContext) classify(s allocSite) (string, bool) {
+	if s.kind == "make-chan" {
+		return "channel buffers always live on the heap", true
+	}
+	return ec.valueEscapes(s.expr, map[types.Object]bool{}, 0)
+}
+
+const maxEscapeDepth = 32
+
+// valueEscapes walks upward from an expression to the statement that
+// consumes it and classifies the consumption.
+func (ec *escapeContext) valueEscapes(e ast.Expr, seen map[types.Object]bool, depth int) (string, bool) {
+	if depth > maxEscapeDepth {
+		return "analysis depth exceeded (conservative)", true
+	}
+	var cur ast.Node = e
+	for {
+		p := ec.parents[cur]
+		if p == nil {
+			return "", false
+		}
+		switch p := p.(type) {
+		case *ast.ParenExpr, *ast.KeyValueExpr, *ast.CompositeLit:
+			// Fate of the enclosing literal/paren is the value's fate.
+			cur = p
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND || p.Op == token.ARROW {
+				cur = p
+				continue
+			}
+			return "", false
+		case *ast.TypeAssertExpr:
+			cur = p
+			continue
+		case *ast.StarExpr, *ast.SelectorExpr:
+			// Dereferencing or selecting a field copies the value out; the
+			// allocation itself stays put. (Method-call receivers also land
+			// here — a deliberate non-conservative gap, documented above.)
+			return "", false
+		case *ast.SliceExpr:
+			if p.X == cur {
+				cur = p // a slice of the value aliases its backing array
+				continue
+			}
+			return "", false
+		case *ast.ReturnStmt:
+			return "returned to the caller", true
+		case *ast.SendStmt:
+			if p.Value == cur {
+				return "sent on a channel", true
+			}
+			return "", false
+		case *ast.GoStmt, *ast.DeferStmt:
+			return "captured by a go/defer statement", true
+		case *ast.AssignStmt:
+			return ec.assignEscapes(p, cur, seen, depth)
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if v == cur && i < len(p.Names) {
+					return ec.identEscapes(p.Names[i], seen, depth)
+				}
+			}
+			return "", false
+		case *ast.CallExpr:
+			if p.Fun == cur {
+				return "", false
+			}
+			return ec.callArgEscapes(p, cur.(ast.Expr), seen, depth)
+		case *ast.IndexExpr, *ast.BinaryExpr, *ast.ExprStmt, *ast.RangeStmt,
+			*ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt,
+			*ast.CaseClause, *ast.IncDecStmt, *ast.BlockStmt:
+			return "", false
+		default:
+			// Unmodeled consumer: err on the conservative side.
+			return "reaches an unmodeled consumer (conservative)", true
+		}
+	}
+}
+
+// assignEscapes classifies the LHS an RHS value lands in.
+func (ec *escapeContext) assignEscapes(as *ast.AssignStmt, rhs ast.Node, seen map[types.Object]bool, depth int) (string, bool) {
+	// Appearing on the LHS means the value is being overwritten, not
+	// consumed.
+	for _, l := range as.Lhs {
+		if l == rhs {
+			return "", false
+		}
+	}
+	idx := -1
+	for i, r := range as.Rhs {
+		if r == rhs {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 || len(as.Lhs) != len(as.Rhs) {
+		// Multi-value or unrecognized shape: conservative.
+		return "assigned through an unmodeled multi-value shape (conservative)", true
+	}
+	lhs := ast.Unparen(as.Lhs[idx])
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return ec.identEscapes(lhs, seen, depth)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return "stored to a heap-reachable location", true
+	}
+	return "stored to an unmodeled location (conservative)", true
+}
+
+// identEscapes classifies a value bound to an identifier: blank and
+// function-local variables delegate to variable tracking; anything else
+// (package-level vars, fields) is heap-reachable.
+func (ec *escapeContext) identEscapes(id *ast.Ident, seen map[types.Object]bool, depth int) (string, bool) {
+	if id.Name == "_" {
+		return "", false
+	}
+	obj := ec.info.Defs[id]
+	if obj == nil {
+		obj = ec.info.Uses[id]
+	}
+	if obj == nil {
+		return "bound to an unresolved identifier (conservative)", true
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if v.Parent() != nil && v.Parent() != v.Pkg().Scope() && !v.IsField() {
+			return ec.varEscapes(v, seen, depth)
+		}
+		return "stored to a global", true
+	}
+	return "stored outside the function (conservative)", true
+}
+
+// varEscapes scans the function body for uses of a local variable and
+// classifies each; := aliases are followed transitively.
+func (ec *escapeContext) varEscapes(obj *types.Var, seen map[types.Object]bool, depth int) (string, bool) {
+	if seen[obj] {
+		return "", false
+	}
+	seen[obj] = true
+	var reason string
+	escapes := false
+	ast.Inspect(ec.n.decl.Body, func(node ast.Node) bool {
+		if escapes {
+			return false
+		}
+		id, ok := node.(*ast.Ident)
+		if !ok || ec.info.Uses[id] != obj {
+			return true
+		}
+		if ec.capturedByClosure(id) {
+			reason, escapes = "captured by a closure that outlives the iteration", true
+			return false
+		}
+		if r, esc := ec.valueEscapes(id, seen, depth+1); esc {
+			reason, escapes = r, true
+			return false
+		}
+		return true
+	})
+	return reason, escapes
+}
+
+// capturedByClosure reports whether an identifier use sits inside a
+// function literal (other than the variable's own declaring function) that
+// is not immediately invoked — such a closure can outlive the enclosing
+// frame, forcing captured variables to the heap.
+func (ec *escapeContext) capturedByClosure(id *ast.Ident) bool {
+	for cur := ec.parents[ast.Node(id)]; cur != nil; cur = ec.parents[cur] {
+		fl, ok := cur.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		// Immediately invoked: the literal is the Fun of a CallExpr.
+		if call, ok := ec.parents[fl].(*ast.CallExpr); ok && call.Fun == fl {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// callArgEscapes classifies a value passed as a call argument.
+func (ec *escapeContext) callArgEscapes(call *ast.CallExpr, arg ast.Expr, seen map[types.Object]bool, depth int) (string, bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := ec.info.Uses[id].(*types.Builtin); ok {
+			switch bi.Name() {
+			case "len", "cap", "copy", "delete", "clear", "min", "max", "print", "println":
+				return "", false
+			case "append":
+				if len(call.Args) > 0 && call.Args[0] == arg {
+					// The result aliases the first argument's backing array.
+					return ec.valueEscapes(call, seen, depth+1)
+				}
+				// An appended element lands in a backing array whose own
+				// fate is unknown here; pointer-like elements escape with
+				// it, value elements are copied.
+				if tv, ok := ec.info.Types[arg]; ok && !hasPointers(tv.Type) {
+					return "", false
+				}
+				return "appended into a slice that may outlive the frame", true
+			case "panic":
+				return "passed to panic", true
+			}
+		}
+		if tv, ok := ec.info.Types[id]; ok && tv.IsType() {
+			// Conversion: the fate of the converted value is the fate of
+			// the conversion result.
+			if types.IsInterface(tv.Type) {
+				return "converted to an interface", true
+			}
+			return ec.valueEscapes(call, seen, depth+1)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := ec.info.Types[sel]; ok && tv.IsType() {
+			if types.IsInterface(tv.Type) {
+				return "converted to an interface", true
+			}
+			return ec.valueEscapes(call, seen, depth+1)
+		}
+	}
+	if fn, ok := calledFunc(ec.info, call); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			if pt := paramTypeFor(sig, call, arg); pt != nil && types.IsInterface(pt) {
+				return "passed to an interface parameter of " + fn.Name(), true
+			}
+		}
+		return "passed to " + fn.Name() + ", which may retain it", true
+	}
+	return "passed to a dynamic call that may retain it", true
+}
+
+// paramTypeFor resolves the parameter type an argument binds to, unrolling
+// variadic tails.
+func paramTypeFor(sig *types.Signature, call *ast.CallExpr, arg ast.Expr) types.Type {
+	idx := -1
+	for i, a := range call.Args {
+		if a == arg {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 || sig.Params().Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && idx >= sig.Params().Len()-1 {
+		last := sig.Params().At(sig.Params().Len() - 1).Type()
+		if call.Ellipsis != token.NoPos {
+			return last
+		}
+		if s, ok := last.(*types.Slice); ok {
+			return s.Elem()
+		}
+		return last
+	}
+	if idx >= sig.Params().Len() {
+		return nil
+	}
+	return sig.Params().At(idx).Type()
+}
+
+// hasPointers reports whether values of t contain pointers (so copying one
+// into an escaping container drags heap references along).
+func hasPointers(t types.Type) bool {
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		return t.Info()&types.IsString != 0 || t.Kind() == types.UnsafePointer
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return hasPointers(t.Elem())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if hasPointers(t.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// moduleEscapeSite is one classified allocation site, hot or not — the
+// surface the gcflags=-m cross-validation test compares against the real
+// compiler.
+type moduleEscapeSite struct {
+	file    string
+	line    int
+	desc    string
+	kind    string
+	reason  string
+	escapes bool
+}
+
+// escapeSitesInModule classifies every allocation site in every base
+// function of the module, regardless of hotness.
+func escapeSitesInModule(m *Module) []moduleEscapeSite {
+	g := buildCallGraph(m)
+	var out []moduleEscapeSite
+	for _, n := range g.nodes {
+		sites := allocSites(n)
+		if len(sites) == 0 {
+			continue
+		}
+		ec := newEscapeContext(n)
+		for _, s := range sites {
+			reason, escapes := ec.classify(s)
+			pos := m.Fset.Position(s.expr.Pos())
+			out = append(out, moduleEscapeSite{
+				file:    pos.Filename,
+				line:    pos.Line,
+				desc:    s.desc,
+				kind:    s.kind,
+				reason:  reason,
+				escapes: escapes,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEscapeGcflagsCrossValidation pins the heuristic escape classifier to
+// the real compiler: every allocation site in testdata/escape/gcm is
+// classified by both, and the verdicts must agree line by line. The corpus
+// is built from shapes where the heuristic is exact (no calls to
+// non-builtin functions, no method values); if a future edit to the
+// classifier drifts on any of them, this test names the line.
+func TestEscapeGcflagsCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a package with the external go tool")
+	}
+	gcmDir := filepath.Join("testdata", "escape", "gcm")
+	m, err := LoadDirAs(gcmDir, "gcmtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := escapeSitesInModule(m)
+	if len(sites) != 9 {
+		t.Fatalf("gcm corpus has %d allocation sites, want 9 — keep it in sync with this test", len(sites))
+	}
+
+	// Compile a copy of the corpus as its own module and collect the
+	// compiler's escape diagnostics.
+	tmp := t.TempDir()
+	src, err := os.ReadFile(filepath.Join(gcmDir, "gcm.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "gcm.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module gcmtest\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", "./...")
+	cmd.Dir = tmp
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-m=2 failed: %v\n%s", err, out)
+	}
+
+	// Diagnostics look like "./gcm.go:24:7: &item{...} escapes to heap".
+	// "moved to heap: x" lines concern variables, not allocation sites, and
+	// are ignored.
+	escapeLines := map[int]bool{}
+	noEscapeLines := map[int]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) < 4 || !strings.HasSuffix(parts[0], "gcm.go") {
+			continue
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.Contains(parts[3], "escapes to heap"):
+			escapeLines[n] = true
+		case strings.Contains(parts[3], "does not escape"):
+			noEscapeLines[n] = true
+		}
+	}
+	if len(escapeLines)+len(noEscapeLines) == 0 {
+		t.Fatalf("no escape diagnostics parsed from compiler output:\n%s", out)
+	}
+
+	for _, s := range sites {
+		id := fmt.Sprintf("%s:%d (%s)", filepath.Base(s.file), s.line, s.desc)
+		compiler, ok := "", false
+		switch {
+		case escapeLines[s.line]:
+			compiler, ok = "escapes to heap", true
+		case noEscapeLines[s.line]:
+			compiler, ok = "does not escape", true
+		}
+		if !ok {
+			t.Errorf("%s: no compiler diagnostic on this line\n%s", id, out)
+			continue
+		}
+		heuristic := "does not escape"
+		if s.escapes {
+			heuristic = "escapes to heap (" + s.reason + ")"
+		}
+		if s.escapes != (compiler == "escapes to heap") {
+			t.Errorf("%s: heuristic says %q, compiler says %q", id, heuristic, compiler)
+		}
+	}
+}

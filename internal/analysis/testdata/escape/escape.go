@@ -1,0 +1,93 @@
+// Package corpus exercises the escape analyzer: heap allocations in hot
+// loops are flagged only when the heuristic classifier says the value
+// escapes the function, and each finding names the escape reason.
+package corpus
+
+type node struct {
+	id   int
+	next *node
+}
+
+var (
+	retained  []*node
+	results   []int
+	sink      chan *node
+	callbacks []func() int
+)
+
+// consume takes an interface, forcing its concrete argument to escape.
+func consume(v any) { _ = v }
+
+// hotAllocs is an explicit hot root; escaping allocations in the loop are
+// flagged, locally-consumed ones are not.
+//
+//cdivet:hotpath
+func hotAllocs(items []int) {
+	for _, it := range items {
+		n := &node{id: it} // want
+		retained = append(retained, n)
+
+		scratch := make([]int, 0, 4) // stays local: no finding
+		scratch = append(scratch, it)
+		results = append(results, scratch[0])
+
+		ch := make(chan *node, 1) // want
+		ch <- &node{id: it}       // want
+		sink <- <-ch
+
+		box := &node{id: it} // want
+		consume(box)
+	}
+}
+
+// spawnAll preallocates its result outside the loop (no finding there —
+// the site is outside loop context) and grows it with hot callee results.
+//
+//cdivet:hotpath
+func spawnAll(items []int) []*node {
+	out := make([]*node, 0, len(items))
+	for _, it := range items {
+		out = append(out, fresh(it))
+	}
+	return out
+}
+
+// fresh is hot via spawnAll's loop; its allocation escapes by return.
+func fresh(it int) *node {
+	return &node{id: it} // want
+}
+
+// registerAll's allocation is captured by a closure that outlives the
+// iteration.
+//
+//cdivet:hotpath
+func registerAll(items []int) {
+	for _, it := range items {
+		c := &node{id: it} // want
+		callbacks = append(callbacks, func() int { return c.id })
+	}
+}
+
+// localOnly allocates per iteration but nothing escapes: dereference reads
+// copy the value out, so the classifier keeps it stack-allocatable.
+//
+//cdivet:hotpath
+func localOnly(items []int) int {
+	total := 0
+	for range items {
+		p := new(int)
+		*p = total
+		total += *p + 1
+	}
+	return total
+}
+
+// suppressedAlloc shows a justified suppression.
+//
+//cdivet:hotpath
+func suppressedAlloc(items []int) {
+	for _, it := range items {
+		//cdivet:allow escape warmup list is bounded by config size and built once
+		retained = append(retained, &node{id: it})
+	}
+}

@@ -1,0 +1,67 @@
+// Package gcm is the gcflags cross-validation corpus: every allocation
+// site here is classified both by the package's heuristic escape analysis
+// and by the real compiler (go build -gcflags=-m=2), and
+// TestEscapeGcflagsCrossValidation asserts the verdicts agree line by
+// line. The shapes deliberately avoid calls to non-builtin functions and
+// method values, where the heuristic is conservative and the compiler is
+// smarter; those gaps are covered by the corpus in the parent directory
+// instead.
+package gcm
+
+type item struct {
+	id   int
+	next *item
+}
+
+var (
+	sinkItems []*item
+	sinkMap   map[string]int
+	sinkCh    chan *item
+)
+
+func storedGlobal() {
+	p := &item{id: 1} // escapes: appended into a global slice
+	sinkItems = append(sinkItems, p)
+}
+
+func returned() *item {
+	return &item{id: 2} // escapes: returned
+}
+
+func localField() int {
+	p := &item{id: 3} // does not escape: only a field read
+	return p.id
+}
+
+func localSum(n int) int {
+	s := make([]int, 8) // does not escape: indexed locally
+	t := 0
+	for i := range s {
+		s[i] = i * n
+		t += s[i]
+	}
+	return t
+}
+
+func returnedSlice(n int) []int {
+	return make([]int, n) // escapes: returned
+}
+
+func globalMap() {
+	sinkMap = map[string]int{"a": 1} // escapes: stored to a global
+}
+
+func sent() {
+	sinkCh <- &item{id: 4} // escapes: sent on a channel
+}
+
+func captured() func() int {
+	p := &item{id: 5} // escapes: captured by the returned closure
+	return func() int { return p.id }
+}
+
+func localNew() int {
+	p := new(int) // does not escape: dereferenced locally
+	*p = 7
+	return *p
+}

@@ -1,0 +1,17 @@
+package corpus
+
+import "testing"
+
+// BenchmarkIterate is a hot root. The b.N loop is a harness loop — callees
+// reached only through it are hot but not per-iteration — while the batch
+// loop below is a genuine application loop, so perBatch is per-iteration.
+func BenchmarkIterate(b *testing.B) {
+	items := []int{1, 2, 3}
+	for i := 0; i < b.N; i++ {
+		runOnce(items)
+	}
+	for _, n := range items {
+		_ = n
+		perBatch(items)
+	}
+}

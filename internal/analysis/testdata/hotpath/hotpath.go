@@ -1,0 +1,102 @@
+// Package corpus exercises the hotpath analyzer: per-iteration allocation
+// patterns in functions reachable from hot roots (benchmarks, configured
+// steady-state methods, //cdivet:hotpath directives).
+package corpus
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// hotLoop is an explicit hot root; each per-iteration allocation pattern
+// inside its lexical loops is flagged.
+//
+//cdivet:hotpath
+func hotLoop(items []int, names []string) []string {
+	prefix := "n-"
+	out := make([]string, 0, len(items)) // capacity-hinted: no finding
+	for _, it := range items {
+		s := fmt.Sprintf("item-%d", it) // want
+		t := prefix + s                 // want
+		msg := ""
+		msg += t // want
+		out = append(out, msg)
+		logf("x", it) // want
+	}
+	for range names {
+		err := fmt.Errorf("bad element") // want
+		_ = err
+	}
+	return out
+}
+
+// logf has a variadic any parameter: non-pointer concrete arguments box at
+// every hot call site.
+func logf(f string, args ...any) { _, _ = f, args }
+
+// appendGrow grows a loop-local slice with no capacity hint; the finding
+// lands on the declaration and carries a make(cap) fix.
+//
+//cdivet:hotpath
+func appendGrow(items []int) []int {
+	grown := []int{} // want
+	for _, it := range items {
+		grown = append(grown, it)
+	}
+	return grown
+}
+
+// perIterScratch declares the slice inside the loop that appends to it, so
+// it is not grown across iterations — no hotpath finding (the per-iteration
+// allocation itself is the escape rule's business).
+//
+//cdivet:hotpath
+func perIterScratch(items []int) int {
+	last := 0
+	for range items {
+		scratch := []int{}
+		scratch = append(scratch, last)
+		last = scratch[0] + 1
+	}
+	return last
+}
+
+// runOnce is reached from BenchmarkIterate's harness loop only: the
+// harness loop is not loop context, so its top-level body stays quiet and
+// only its own lexical loop is hot.
+func runOnce(items []int) string {
+	head := fmt.Sprintf("run-%d", len(items)) // harness-only context: no finding
+	s := head
+	for _, it := range items {
+		s = s + strconv.Itoa(it) // want
+	}
+	return s
+}
+
+// perBatch is called from inside an application-level loop of the
+// benchmark, so its whole body is per-iteration.
+func perBatch(items []int) string {
+	return fmt.Sprintf("batch-%d", len(items)) // want
+}
+
+// suppressed shows a justified suppression covering the findings on the
+// next line.
+//
+//cdivet:hotpath
+func suppressed(items []int) string {
+	s := ""
+	for _, it := range items {
+		//cdivet:allow hotpath drain path runs once per shutdown, not per iteration
+		s += fmt.Sprintf("%d", it)
+	}
+	return s
+}
+
+// coldHelper is reachable from no root: identical patterns, no findings.
+func coldHelper(items []int) string {
+	s := ""
+	for _, it := range items {
+		s += fmt.Sprintf("%d", it)
+	}
+	return s
+}

@@ -1,0 +1,17 @@
+// Package serve mirrors the real internal/serve shape: Engine.batcher is a
+// configured hot root (matched by package-path suffix), so corpus findings
+// prove the root config works without a directive.
+package serve
+
+// Engine is a minimal stand-in for the serving engine.
+type Engine struct {
+	queue []string
+	log   []string
+}
+
+// batcher is the configured steady-state root.
+func (e *Engine) batcher() {
+	for _, q := range e.queue {
+		e.log = append(e.log, "q:"+q) // want
+	}
+}

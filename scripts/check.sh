@@ -21,8 +21,8 @@ echo "== go test -race -count=1 (resilience)"
 go test -race -count=1 -run 'Resilien|Fault|WaitTimeout' \
   ./internal/faults/ ./internal/remoting/ ./internal/sim/ ./internal/experiments/
 
-echo "== cdivet ./..."
-go run ./cmd/cdivet -sarif cdivet.sarif ./...
+echo "== cdivet ./... (baseline: cdivet_baseline.json)"
+go run ./cmd/cdivet -sarif cdivet.sarif -baseline cdivet_baseline.json ./...
 
 echo "== cdivet -directives ./..."
 go run ./cmd/cdivet -directives ./...
