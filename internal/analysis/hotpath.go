@@ -69,6 +69,9 @@ func checkHotFunc(mp *ModulePass, n *funcNode, hf *hotFunc) {
 			if !ok || !isString(tv.Type) || tv.Value != nil {
 				return true // not a string, or fully constant-folded
 			}
+			if concatPreformatted(info, node) {
+				return true
+			}
 			for _, sub := range []ast.Expr{node.X, node.Y} {
 				if b, ok := ast.Unparen(sub).(*ast.BinaryExpr); ok && b.Op == token.ADD {
 					skipConcat[b] = true
@@ -619,6 +622,26 @@ func sourceOf(fset *token.FileSet, pos token.Pos) []byte {
 
 // calledFunc resolves the called *types.Func of a call expression (static
 // calls only).
+// concatPreformatted reports whether every leaf of a concatenation chain is
+// a constant or a direct strconv call — the shape the sprintf fix produces
+// ("concatenation of preformatted parts"). It costs one allocation and no
+// format parse, so re-flagging it would make the suggested fix circular.
+func concatPreformatted(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.ADD {
+		return concatPreformatted(info, b.X) && concatPreformatted(info, b.Y)
+	}
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := calledFunc(info, call)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "strconv"
+}
+
 func calledFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
 	var obj types.Object
 	switch fun := ast.Unparen(call.Fun).(type) {

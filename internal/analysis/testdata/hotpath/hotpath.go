@@ -18,7 +18,8 @@ func hotLoop(items []int, names []string) []string {
 	for _, it := range items {
 		s := fmt.Sprintf("item-%d", it) // want
 		t := prefix + s                 // want
-		msg := ""
+		u := "it-" + strconv.Itoa(it)   // preformatted parts (the sprintf fix's own output): no finding
+		msg := u
 		msg += t // want
 		out = append(out, msg)
 		logf("x", it) // want

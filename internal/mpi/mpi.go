@@ -10,6 +10,7 @@ package mpi
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/sim"
 )
@@ -131,7 +132,7 @@ func (w *World) Spawn(rank int, fn func(r *Rank)) {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("mpi: rank %d out of world size %d", rank, w.size))
 	}
-	w.env.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+	w.env.Spawn("rank"+strconv.Itoa(rank), func(p *sim.Proc) {
 		fn(&Rank{w: w, rank: rank, p: p})
 	})
 }

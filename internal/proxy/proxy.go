@@ -14,6 +14,7 @@ package proxy
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/cuda"
 	"repro/internal/gpu"
@@ -225,7 +226,7 @@ func Run(cfg Config) (Result, error) {
 	var runErrs []error
 	for t := 0; t < cfg.Threads; t++ {
 		offset := sim.Duration(t) * cfg.ThreadOffset
-		env.SpawnAt(offset, fmt.Sprintf("omp%d", t), func(p *sim.Proc) {
+		env.SpawnAt(offset, "omp"+strconv.Itoa(t), func(p *sim.Proc) {
 			if err := threadLoop(p, ctx, kernel, matBytes, res.Iters, cfg.IterSpacing); err != nil {
 				runErrs = append(runErrs, err)
 			}
