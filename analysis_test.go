@@ -45,3 +45,37 @@ func TestDeterminismInvariants(t *testing.T) {
 		t.Logf("fix the violation or, if the pattern is intentionally safe, add `//cdivet:allow <rule> <reason>` on or above the line")
 	}
 }
+
+// TestHotpathSelfCheck holds the measured core — the serving engine, the GPU
+// and CUDA models, the proxy-app and LAMMPS workloads, and the simulation
+// engine they all run on — to a stricter bar than the baseline-filtered gate
+// above: zero hotpath/escape findings with no baseline at all. Every accepted
+// allocation in these packages must carry an inline //cdivet:allow directive
+// with its justification, so a new hot-path allocation cannot hide behind a
+// frozen baseline entry.
+func TestHotpathSelfCheck(t *testing.T) {
+	hot, err := analysis.ByName("hotpath,escape")
+	if err != nil {
+		t.Fatalf("resolve analyzers: %v", err)
+	}
+	findings, err := analysis.Run(analysis.Config{
+		Patterns: []string{
+			"./internal/serve",
+			"./internal/gpu",
+			"./internal/cuda",
+			"./internal/proxy",
+			"./internal/lammps",
+			"./internal/sim",
+		},
+		Analyzers: hot,
+	})
+	if err != nil {
+		t.Fatalf("hotpath/escape self-check failed to run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("the measured core is kept allocation-clean without a baseline: fix the allocation or justify it with an inline `//cdivet:allow hotpath|escape <reason>`")
+	}
+}

@@ -68,7 +68,7 @@ type sarifRegion struct {
 }
 
 type sarifFix struct {
-	Description     sarifMessage         `json:"description"`
+	Description     sarifMessage          `json:"description"`
 	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
 }
 

@@ -105,6 +105,44 @@ type Context struct {
 	callOverhead sim.Duration
 	interposers  []Interposer
 	defaultStrm  *gpu.Stream
+
+	// launchNames caches the "cudaLaunchKernel:<name>" /
+	// "cudaLaunchKernelSync:<name>" CallInfo strings: kernel names come
+	// from a small fixed set per workload, and rebuilding the
+	// concatenation on every launch is a per-iteration allocation on the
+	// hottest path in the module. Interposers (slack.WithSymbols) key on
+	// these exact strings, so the cached values must match what the
+	// concatenation produced.
+	launchNames     map[string]string
+	launchSyncNames map[string]string
+
+	// eventSlab batch-allocates Events: the proxy records one per timed
+	// iteration, and callers keep the pointers, so events are handed out
+	// in chunks and never recycled.
+	eventSlab []Event
+}
+
+// newEvent hands out an Event from the context's slab.
+func (c *Context) newEvent(op *gpu.Op) *Event {
+	if len(c.eventSlab) == 0 {
+		//cdivet:allow escape slab refill: one amortized allocation per 64 events
+		c.eventSlab = make([]Event, 64)
+	}
+	e := &c.eventSlab[0]
+	c.eventSlab = c.eventSlab[1:]
+	e.op, e.at = op, 0
+	return e
+}
+
+// launchName returns prefix+kernel, cached in m.
+func launchName(m map[string]string, prefix, kernel string) string {
+	if s, ok := m[kernel]; ok {
+		return s
+	}
+	//cdivet:allow hotpath cache miss: the concatenation runs once per distinct kernel name
+	s := prefix + kernel
+	m[kernel] = s
+	return s
 }
 
 // ErrInvalidValue mirrors cudaErrorInvalidValue for size/pointer misuse.
@@ -124,7 +162,13 @@ func NewContext(dev *gpu.Device, cfg Config) *Context {
 	if ov < 0 {
 		ov = 0
 	}
-	return &Context{dev: dev, callOverhead: ov}
+	//cdivet:allow escape constructed once per host context at setup, not per iteration
+	return &Context{
+		dev:             dev,
+		callOverhead:    ov,
+		launchNames:     map[string]string{},
+		launchSyncNames: map[string]string{},
+	}
 }
 
 // Device returns the underlying device.
@@ -280,7 +324,7 @@ func (c *Context) memcpyAsync(p *sim.Proc, name string, class CallClass, dir gpu
 // kernel executes in stream order.
 func (c *Context) Launch(p *sim.Proc, k gpu.Kernel, s *gpu.Stream) *gpu.Op {
 	var op *gpu.Op
-	c.call(p, CallInfo{Name: "cudaLaunchKernel:" + k.Name, Class: ClassLaunch}, func() {
+	c.call(p, CallInfo{Name: launchName(c.launchNames, "cudaLaunchKernel:", k.Name), Class: ClassLaunch}, func() {
 		if s == nil {
 			s = c.defaultStream()
 		}
@@ -300,7 +344,7 @@ func (c *Context) Launch(p *sim.Proc, k gpu.Kernel, s *gpu.Stream) *gpu.Op {
 // paper's proxy uses "to capture the pessimistic case": no host/device
 // overlap hides injected slack.
 func (c *Context) LaunchSync(p *sim.Proc, k gpu.Kernel, s *gpu.Stream) {
-	c.call(p, CallInfo{Name: "cudaLaunchKernelSync:" + k.Name, Class: ClassLaunch}, func() {
+	c.call(p, CallInfo{Name: launchName(c.launchSyncNames, "cudaLaunchKernelSync:", k.Name), Class: ClassLaunch}, func() {
 		if s == nil {
 			s = c.defaultStream()
 		}
@@ -358,7 +402,7 @@ func (c *Context) EventRecord(p *sim.Proc, s *gpu.Stream) *Event {
 		if s == nil {
 			s = c.defaultStream()
 		}
-		e = &Event{op: s.EnqueueMarker()}
+		e = c.newEvent(s.EnqueueMarker())
 	})
 	return e
 }

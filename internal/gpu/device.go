@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/sim"
 )
@@ -112,7 +113,24 @@ type Device struct {
 	nextStreamID int
 	allIdle      *sim.WaitGroup // counts outstanding ops device-wide
 
+	// opSlab hands out Ops in 64-op chunks: enqueue paths are the hottest
+	// allocation sites in the serving and proxy benchmarks, and callers
+	// keep op pointers for arbitrarily long (events, deferred waits), so
+	// ops are never recycled — just batch-allocated.
+	opSlab []Op
+
 	lost bool // the physical device disappeared (server crash, failover)
+}
+
+// newOp returns a zeroed Op from the device's slab.
+func (d *Device) newOp() *Op {
+	if len(d.opSlab) == 0 {
+		//cdivet:allow escape slab refill: one amortized allocation per 64 ops
+		d.opSlab = make([]Op, 64)
+	}
+	o := &d.opSlab[0]
+	d.opSlab = d.opSlab[1:]
+	return o
 }
 
 // NewDevice creates a device with the given spec on env.
@@ -120,6 +138,7 @@ func NewDevice(env *sim.Env, spec Spec) (*Device, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	//cdivet:allow escape constructed once per simulated GPU at setup, not per iteration
 	return &Device{
 		env:     env,
 		spec:    spec,
@@ -212,23 +231,28 @@ type Stream struct {
 	id      int
 	dev     *Device
 	queue   []*Op
+	head    int // queue[:head] is consumed; the array is reused once drained
 	pending int // queued + executing ops
 	arrive  *sim.Signal
 	drained *sim.Signal
+	opDone  *sim.Signal // broadcast after each op completes; shared by every op on the stream
 	closed  bool
 }
 
 // NewStream creates a stream and starts its runner process.
 func (d *Device) NewStream() *Stream {
+	//cdivet:allow escape streams are created per host thread at setup, not per iteration
 	s := &Stream{
 		id:      d.nextStreamID,
 		dev:     d,
 		arrive:  sim.NewSignal(d.env),
 		drained: sim.NewSignal(d.env),
+		opDone:  sim.NewSignal(d.env),
 	}
 	d.nextStreamID++
 	d.streams = append(d.streams, s)
-	d.env.Spawn(fmt.Sprintf("%s/stream%d", d.spec.Name, s.id), s.run)
+	//cdivet:allow hotpath the runner name is built once per stream creation
+	d.env.Spawn(d.spec.Name+"/stream"+strconv.Itoa(s.id), s.run)
 	return s
 }
 
@@ -248,7 +272,7 @@ func (s *Stream) enqueue(o *Op) *Op {
 		panic("gpu: enqueue on destroyed stream")
 	}
 	o.enqueue = s.dev.env.Now()
-	o.doneSig = sim.NewSignal(s.dev.env)
+	o.doneSig = s.opDone
 	s.queue = append(s.queue, o)
 	s.pending++
 	s.dev.allIdle.Add(1)
@@ -259,7 +283,9 @@ func (s *Stream) enqueue(o *Op) *Op {
 // EnqueueKernel submits a kernel launch and returns immediately (the
 // asynchronous CUDA semantics; the cuda layer adds host-side launch cost).
 func (s *Stream) EnqueueKernel(k Kernel) *Op {
-	return s.enqueue(&Op{kind: opKernel, kernel: k})
+	o := s.dev.newOp()
+	o.kind, o.kernel = opKernel, k
+	return s.enqueue(o)
 }
 
 // EnqueueCopy submits a memory transfer of n bytes.
@@ -267,14 +293,18 @@ func (s *Stream) EnqueueCopy(dir Direction, n int64) *Op {
 	if n < 0 {
 		panic("gpu: negative copy size")
 	}
-	return s.enqueue(&Op{kind: opCopy, dir: dir, bytes: n})
+	o := s.dev.newOp()
+	o.kind, o.dir, o.bytes = opCopy, dir, n
+	return s.enqueue(o)
 }
 
 // EnqueueMarker submits a zero-cost ordering marker; the returned Op
 // completes when all previously enqueued work on the stream has completed.
 // It is the device half of cudaEventRecord.
 func (s *Stream) EnqueueMarker() *Op {
-	return s.enqueue(&Op{kind: opMark})
+	o := s.dev.newOp()
+	o.kind = opMark
+	return s.enqueue(o)
 }
 
 // Pending returns the number of queued-plus-executing operations.
@@ -298,14 +328,19 @@ func (d *Device) Sync(p *sim.Proc) {
 func (s *Stream) run(p *sim.Proc) {
 	d := s.dev
 	for {
-		for len(s.queue) == 0 {
+		for s.head == len(s.queue) {
+			// Drained: rewind onto the same backing array so steady-state
+			// enqueue traffic stops growing it.
+			s.queue = s.queue[:0]
+			s.head = 0
 			if s.closed {
 				return
 			}
 			s.arrive.Wait(p)
 		}
-		o := s.queue[0]
-		s.queue = s.queue[1:]
+		o := s.queue[s.head]
+		s.queue[s.head] = nil
+		s.head++
 		switch o.kind {
 		case opKernel:
 			s.execKernel(p, o)

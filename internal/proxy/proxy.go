@@ -147,7 +147,7 @@ func Run(cfg Config) (Result, error) {
 
 	var rec *trace.Recorder
 	if cfg.Record {
-		rec = trace.NewRecorder(fmt.Sprintf("proxy-n%d-t%d", cfg.MatrixSize, cfg.Threads))
+		rec = trace.NewRecorder("proxy-n" + strconv.Itoa(cfg.MatrixSize) + "-t" + strconv.Itoa(cfg.Threads))
 		dev.Listen(rec)
 		ctx.Interpose(rec)
 	}
@@ -223,7 +223,8 @@ func Run(cfg Config) (Result, error) {
 		rec.Start(env)
 	}
 	loopStart := env.Now()
-	var runErrs []error
+	//cdivet:allow escape one error collector per Run call, sized at setup
+	runErrs := make([]error, 0, cfg.Threads)
 	for t := 0; t < cfg.Threads; t++ {
 		offset := sim.Duration(t) * cfg.ThreadOffset
 		env.SpawnAt(offset, "omp"+strconv.Itoa(t), func(p *sim.Proc) {
@@ -337,7 +338,7 @@ func Sweep(sizes, threads []int, slacks []sim.Duration, iters int) ([]SweepPoint
 // grid order, so output is byte-identical for every jobs value.
 func SweepParallel(sizes, threads []int, slacks []sim.Duration, iters, jobs int) ([]SweepPoint, error) {
 	type combo struct{ n, t int }
-	var combos []combo
+	combos := make([]combo, 0, len(sizes)*len(threads))
 	for _, n := range sizes {
 		for _, t := range threads {
 			combos = append(combos, combo{n, t})
@@ -371,7 +372,7 @@ func SweepParallel(sizes, threads []int, slacks []sim.Duration, iters, jobs int)
 	if err != nil {
 		return nil, err
 	}
-	var out []SweepPoint
+	out := make([]SweepPoint, 0, len(slacks)*len(combos))
 	for _, g := range groups {
 		out = append(out, g...)
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/gpu"
 	"repro/internal/sim"
@@ -75,6 +76,11 @@ type Config struct {
 }
 
 func (c *Config) withDefaults() error {
+	switch c.Policy {
+	case NoBatch, FixedBatch, Continuous:
+	default:
+		return fmt.Errorf("serve: unknown policy %v", c.Policy)
+	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 8
 	}
@@ -111,8 +117,17 @@ type Engine struct {
 	total int
 
 	queue     []*pending
+	qhead     int // queue[:qhead] is served; the array is reused once drained
 	more      *sim.Signal
 	completed int
+
+	// ks and batchBuf are per-step scratch reused across iterations, and
+	// pendSlab batch-allocates pending records (never recycled — the
+	// queue and active batch hold pointers into it). Together they keep
+	// the steady-state batching loop allocation-free.
+	ks       []gpu.Kernel
+	batchBuf []*pending
+	pendSlab []pending
 
 	m     *Metrics
 	spans []trace.AppSpan
@@ -170,10 +185,25 @@ func (e *Engine) arrivals(p *sim.Proc, reqs []Request) {
 		if d := r.Arrival.Sub(p.Now()); d > 0 {
 			p.Sleep(d)
 		}
-		e.queue = append(e.queue, &pending{req: r, remaining: r.OutputTokens})
+		e.queue = append(e.queue, e.newPending(r))
 		e.more.Fire()
 	}
 }
+
+// newPending hands out a pending record from the engine's slab.
+func (e *Engine) newPending(r Request) *pending {
+	if len(e.pendSlab) == 0 {
+		//cdivet:allow escape slab refill: one amortized allocation per 64 requests
+		e.pendSlab = make([]pending, 64)
+	}
+	pd := &e.pendSlab[0]
+	e.pendSlab = e.pendSlab[1:]
+	pd.req, pd.remaining = r, r.OutputTokens
+	return pd
+}
+
+// qlen returns the number of unserved queued requests.
+func (e *Engine) qlen() int { return len(e.queue) - e.qhead }
 
 // batcher drains the queue until every request has completed.
 func (e *Engine) batcher(p *sim.Proc) {
@@ -184,7 +214,7 @@ func (e *Engine) batcher(p *sim.Proc) {
 	}
 	e.workspace = in
 	for e.completed < e.total {
-		for len(e.queue) == 0 {
+		for e.qlen() == 0 {
 			e.more.Wait(p)
 		}
 		switch e.cfg.Policy {
@@ -192,10 +222,8 @@ func (e *Engine) batcher(p *sim.Proc) {
 			err = e.stepNoBatch(p)
 		case FixedBatch:
 			err = e.stepFixed(p)
-		case Continuous:
+		default: // Continuous; withDefaults rejected anything else
 			err = e.stepContinuous(p)
-		default:
-			err = fmt.Errorf("serve: unknown policy %v", e.cfg.Policy)
 		}
 		if err != nil {
 			e.err = err
@@ -207,10 +235,16 @@ func (e *Engine) batcher(p *sim.Proc) {
 	}
 }
 
-// pop removes and returns the queue head.
+// pop removes and returns the queue head, rewinding onto the same backing
+// array once the queue drains.
 func (e *Engine) pop() *pending {
-	r := e.queue[0]
-	e.queue = e.queue[1:]
+	r := e.queue[e.qhead]
+	e.queue[e.qhead] = nil
+	e.qhead++
+	if e.qhead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	}
 	return r
 }
 
@@ -225,7 +259,8 @@ func (e *Engine) finish(p *sim.Proc, r *pending) error {
 	e.completed++
 	if e.cfg.RecordSpans {
 		e.spans = append(e.spans, trace.AppSpan{
-			Name:  fmt.Sprintf("req %d (%s)", r.req.ID, e.cfg.Tenants[r.req.Tenant].Name),
+			//cdivet:allow hotpath spans are opt-in (RecordSpans) and inherently allocate; off on measured paths
+			Name:  "req " + strconv.Itoa(r.req.ID) + " (" + e.cfg.Tenants[r.req.Tenant].Name + ")",
 			Cat:   "request",
 			Track: r.req.Tenant,
 			Start: r.req.Arrival,
@@ -249,7 +284,8 @@ func (e *Engine) admit(p *sim.Proc, r *pending) (gpu.Kernel, error) {
 func (e *Engine) batchSpan(kind string, n int, start, end sim.Time) {
 	if e.cfg.RecordSpans {
 		e.spans = append(e.spans, trace.AppSpan{
-			Name:  fmt.Sprintf("%s n=%d", kind, n),
+			//cdivet:allow hotpath spans are opt-in (RecordSpans) and inherently allocate; off on measured paths
+			Name:  kind + " n=" + strconv.Itoa(n),
 			Cat:   "batch",
 			Track: batchTrack,
 			Start: start,
@@ -264,18 +300,18 @@ const batchTrack = -1
 
 // stepNoBatch serves exactly one request FCFS.
 func (e *Engine) stepNoBatch(p *sim.Proc) error {
-	e.m.QueueDepths = append(e.m.QueueDepths, float64(len(e.queue)))
+	e.m.QueueDepths = append(e.m.QueueDepths, float64(e.qlen()))
 	r := e.pop()
 	start := p.Now()
 	prefill, err := e.admit(p, r)
 	if err != nil {
 		return err
 	}
-	ks := make([]gpu.Kernel, 0, 1+r.remaining)
-	ks = append(ks, prefill)
+	ks := append(e.ks[:0], prefill)
 	for i := 0; i < r.remaining; i++ {
 		ks = append(ks, gpu.DecodeStep(1, e.cfg.Model.Params))
 	}
+	e.ks = ks[:0]
 	if err := e.tr.RunKernels(p, ks); err != nil {
 		return err
 	}
@@ -292,13 +328,14 @@ func (e *Engine) stepNoBatch(p *sim.Proc) error {
 
 // stepFixed serves one static batch to completion.
 func (e *Engine) stepFixed(p *sim.Proc) error {
-	e.m.QueueDepths = append(e.m.QueueDepths, float64(len(e.queue)))
-	var batch []*pending
-	for len(batch) < e.cfg.MaxBatch && len(e.queue) > 0 {
+	e.m.QueueDepths = append(e.m.QueueDepths, float64(e.qlen()))
+	batch := e.batchBuf[:0]
+	for len(batch) < e.cfg.MaxBatch && e.qlen() > 0 {
 		batch = append(batch, e.pop())
 	}
+	e.batchBuf = batch
 	start := p.Now()
-	var ks []gpu.Kernel
+	ks := e.ks[:0]
 	steps := 0
 	for _, r := range batch {
 		prefill, err := e.admit(p, r)
@@ -315,6 +352,7 @@ func (e *Engine) stepFixed(p *sim.Proc) error {
 	for i := 0; i < steps; i++ {
 		ks = append(ks, gpu.DecodeStep(len(batch), e.cfg.Model.Params))
 	}
+	e.ks = ks[:0]
 	if err := e.tr.RunKernels(p, ks); err != nil {
 		return err
 	}
@@ -335,12 +373,12 @@ func (e *Engine) stepFixed(p *sim.Proc) error {
 // and the queue are both empty, admitting new requests between decode
 // iterations.
 func (e *Engine) stepContinuous(p *sim.Proc) error {
-	var active []*pending
+	active := e.batchBuf[:0]
 	for {
-		e.m.QueueDepths = append(e.m.QueueDepths, float64(len(e.queue)))
+		e.m.QueueDepths = append(e.m.QueueDepths, float64(e.qlen()))
 		start := p.Now()
-		var ks []gpu.Kernel
-		for len(active) < e.cfg.MaxBatch && len(e.queue) > 0 {
+		ks := e.ks[:0]
+		for len(active) < e.cfg.MaxBatch && e.qlen() > 0 {
 			r := e.pop()
 			prefill, err := e.admit(p, r)
 			if err != nil {
@@ -350,10 +388,12 @@ func (e *Engine) stepContinuous(p *sim.Proc) error {
 			active = append(active, r)
 		}
 		if len(active) == 0 {
+			e.batchBuf = active
 			return nil
 		}
 		width := len(active)
 		ks = append(ks, gpu.DecodeStep(width, e.cfg.Model.Params))
+		e.ks = ks[:0]
 		if err := e.tr.RunKernels(p, ks); err != nil {
 			return err
 		}

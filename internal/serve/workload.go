@@ -103,7 +103,19 @@ func Generate(tenants []Tenant, window sim.Duration, seed int64) ([]Request, err
 		req Request
 		seq int
 	}
-	var all []keyed
+	// Expected schedule size is sum(rate·window); preallocate with a seat
+	// per tenant of headroom (capped — a mis-sized config should not
+	// reserve gigabytes up front).
+	var expect float64
+	for _, t := range tenants {
+		if t.Rate > 0 {
+			expect += t.Rate * float64(window)
+		}
+	}
+	if expect > 1<<20 {
+		expect = 1 << 20
+	}
+	all := make([]keyed, 0, int(expect)+len(tenants))
 	end := sim.Time(0).Add(window)
 	for ti, t := range tenants {
 		if err := t.validate(); err != nil {

@@ -16,6 +16,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strconv"
 )
 
 // Time is an absolute virtual timestamp in seconds since simulation start.
@@ -47,19 +48,22 @@ func (d Duration) Millis() float64 { return float64(d) / 1e-3 }
 func (d Duration) Seconds() float64 { return float64(d) }
 
 // String formats the duration with an SI-scaled unit, e.g. "12.3µs".
+// strconv.FormatFloat('g') produces the same bytes as fmt's %g without the
+// format-string parse — String sits on trace/report paths that run once per
+// recorded kernel.
 func (d Duration) String() string {
 	abs := math.Abs(float64(d))
 	switch {
 	case abs == 0:
 		return "0s"
 	case abs < 1e-6:
-		return fmt.Sprintf("%.3gns", float64(d)/1e-9)
+		return strconv.FormatFloat(float64(d)/1e-9, 'g', 3, 64) + "ns"
 	case abs < 1e-3:
-		return fmt.Sprintf("%.3gµs", float64(d)/1e-6)
+		return strconv.FormatFloat(float64(d)/1e-6, 'g', 3, 64) + "µs"
 	case abs < 1:
-		return fmt.Sprintf("%.3gms", float64(d)/1e-3)
+		return strconv.FormatFloat(float64(d)/1e-3, 'g', 3, 64) + "ms"
 	default:
-		return fmt.Sprintf("%.4gs", float64(d))
+		return strconv.FormatFloat(float64(d), 'g', 4, 64) + "s"
 	}
 }
 
