@@ -1,0 +1,123 @@
+package cdi
+
+// Tests for the scripts/bench.sh --gate regression gate. The gate is plain
+// bash+awk over the BENCH_<n>.json files this same script records, so the
+// tests drive it as a subprocess on synthetic recordings: one pair that must
+// pass, one with an injected regression that must fail. This keeps the gate
+// honest in both directions — a gate that never fires is worse than none.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchJSON renders a minimal recording in the exact shape bench.sh writes.
+func benchJSON(t *testing.T, dir, name string, rows []string) string {
+	t.Helper()
+	body := "{\n  \"date\": \"2026-01-01T00:00:00Z\",\n  \"goos\": \"linux\",\n  \"goarch\": \"amd64\",\n  \"benchmarks\": [\n    " +
+		strings.Join(rows, ",\n    ") + "\n  ]\n}\n"
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGate(t *testing.T, env []string, newFile, oldFile string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("bash", "scripts/bench.sh", "--gate", newFile, oldFile)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("gate did not run: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestBenchGatePassesOnImprovement(t *testing.T) {
+	dir := t.TempDir()
+	old := benchJSON(t, dir, "old.json", []string{
+		`{"name": "BenchmarkA", "ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 100}`,
+		`{"name": "BenchmarkB", "ns_per_op": 500, "bytes_per_op": 0, "allocs_per_op": 0}`,
+	})
+	// A improves, B is unchanged, C is new: all fine.
+	now := benchJSON(t, dir, "new.json", []string{
+		`{"name": "BenchmarkA", "ns_per_op": 900, "bytes_per_op": 32, "allocs_per_op": 40}`,
+		`{"name": "BenchmarkB", "ns_per_op": 500, "bytes_per_op": 0, "allocs_per_op": 0}`,
+		`{"name": "BenchmarkC", "ns_per_op": 10, "bytes_per_op": 0, "allocs_per_op": 1}`,
+	})
+	report := filepath.Join(dir, "gate.txt")
+	out, code := runGate(t, []string{"GATE_REPORT=" + report}, now, old)
+	if code != 0 {
+		t.Fatalf("gate failed on an improvement (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "new in") {
+		t.Errorf("gate did not note the new benchmark:\n%s", out)
+	}
+	if b, err := os.ReadFile(report); err != nil || !strings.Contains(string(b), "BenchmarkA") {
+		t.Errorf("GATE_REPORT not written (err=%v):\n%s", err, b)
+	}
+}
+
+func TestBenchGateFailsOnInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := benchJSON(t, dir, "old.json", []string{
+		`{"name": "BenchmarkA", "ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 100}`,
+		`{"name": "BenchmarkB", "ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 1000}`,
+	})
+	// A slips past the ns tolerance, B past the allocs tolerance+slack.
+	now := benchJSON(t, dir, "new.json", []string{
+		`{"name": "BenchmarkA", "ns_per_op": 2000, "bytes_per_op": 64, "allocs_per_op": 100}`,
+		`{"name": "BenchmarkB", "ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 1500}`,
+	})
+	out, code := runGate(t, nil, now, old)
+	if code != 1 {
+		t.Fatalf("gate exit = %d, want 1 on injected regression:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION(ns/op)") {
+		t.Errorf("ns/op regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION(allocs/op)") {
+		t.Errorf("allocs/op regression not flagged:\n%s", out)
+	}
+}
+
+func TestBenchGateToleranceAndSkips(t *testing.T) {
+	dir := t.TempDir()
+	old := benchJSON(t, dir, "old.json", []string{
+		`{"name": "BenchmarkTiny", "ns_per_op": 100, "bytes_per_op": 0, "allocs_per_op": 3}`,
+		`{"name": "BenchmarkCdivetModule", "ns_per_op": 1000, "bytes_per_op": 0, "allocs_per_op": 1000}`,
+		`{"name": "BenchmarkGone", "ns_per_op": 50, "bytes_per_op": 0, "allocs_per_op": 1}`,
+	})
+	// Tiny grows 3->5 allocs (inside the absolute slack); the lint-suite
+	// self-benchmark doubles its allocs (ungated by default because the repo
+	// it analyzes grows every PR); Gone was dropped (warning, not failure).
+	now := benchJSON(t, dir, "new.json", []string{
+		`{"name": "BenchmarkTiny", "ns_per_op": 100, "bytes_per_op": 0, "allocs_per_op": 5}`,
+		`{"name": "BenchmarkCdivetModule", "ns_per_op": 1000, "bytes_per_op": 0, "allocs_per_op": 2000}`,
+	})
+	out, code := runGate(t, nil, now, old)
+	if code != 0 {
+		t.Fatalf("gate exit = %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs ungated") {
+		t.Errorf("GATE_ALLOC_SKIP default not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "BenchmarkGone") {
+		t.Errorf("dropped benchmark not warned about:\n%s", out)
+	}
+
+	// The same skip defeated: point GATE_ALLOC_SKIP elsewhere and the
+	// doubled allocs must fail.
+	out, code = runGate(t, []string{"GATE_ALLOC_SKIP=^$"}, now, old)
+	if code != 1 || !strings.Contains(out, "REGRESSION(allocs/op)") {
+		t.Errorf("gate exit = %d with skip disabled, want 1 and an allocs/op flag:\n%s", code, out)
+	}
+}

@@ -41,4 +41,15 @@ rm -f "$serving_trace"
 echo "== bench.sh --smoke"
 scripts/bench.sh --smoke
 
+# Perf trajectory gate: diff the two most recent full benchmark recordings.
+# Fails the build on a ns/op or allocs/op regression between them (see
+# bench.sh for tolerances); the table also lands in bench_gate.txt for CI to
+# archive. Skipped until two recordings exist.
+echo "== bench.sh --gate (perf trajectory)"
+if [ -e BENCH_2.json ]; then
+  GATE_REPORT=bench_gate.txt scripts/bench.sh --gate
+else
+  echo "   fewer than two BENCH_<n>.json recordings; gate skipped"
+fi
+
 echo "check.sh: all gates green"
