@@ -280,6 +280,12 @@ func BenchmarkAblationThreads(b *testing.B) {
 
 // --- Substrate microbenchmarks ---
 
+// BenchmarkSimEngineEvents measures the engine's per-event dispatch cost on
+// the path every experiment actually runs: one RunUntil spanning b.N timer
+// events. A ticker that re-sleeps inside the run exercises the full
+// schedule→queue→pop→deliver cycle per event, including the baton handoff's
+// self-wake fast path (the Step loop it replaced forced two goroutine
+// switches per event, measuring the driver round-trip instead of dispatch).
 func BenchmarkSimEngineEvents(b *testing.B) {
 	env := sim.NewEnv()
 	defer env.Close()
@@ -289,9 +295,7 @@ func BenchmarkSimEngineEvents(b *testing.B) {
 		}
 	})
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		env.Step()
-	}
+	env.RunUntil(sim.Time(0).Add(sim.Duration(b.N) * sim.Microsecond))
 }
 
 func BenchmarkProxyIteration(b *testing.B) {
@@ -541,4 +545,48 @@ func BenchmarkServeSteadyState(b *testing.B) {
 			b.Fatalf("completed %d of %d requests", eng.Completed(), len(reqs))
 		}
 	}
+}
+
+// BenchmarkSimEngineFanout is the pool-scale stress: 10k processes spread
+// over 16 shards, all parked on shared per-shard Signals, with a driver that
+// fires every signal once per simulated microsecond. One benchmark op is one
+// fan-out round — 10k signal wake-ups scheduled at the same instant, merged
+// across shards in (time, seq) order, plus 10k re-waits.
+//
+// It must stay the LAST benchmark in the suite: the Go runtime pools dead
+// goroutine descriptors process-wide and never frees them, so once 10k
+// workers have existed, every later GC cycle in the same process scans them
+// — measured as a 2× ns/op inflation on wake-heavy benchmarks
+// (BenchmarkMPIAllreduce 42µs → 83µs) when this ran mid-suite.
+func BenchmarkSimEngineFanout(b *testing.B) {
+	const (
+		nprocs  = 10000
+		nshards = 16
+	)
+	env := sim.NewEnv()
+	defer env.Close()
+	shards := make([]*sim.Shard, nshards)
+	sigs := make([]*sim.Signal, nshards)
+	for i := range shards {
+		shards[i] = env.NewShard()
+		sigs[i] = sim.NewSignal(env)
+	}
+	for i := 0; i < nprocs; i++ {
+		sig := sigs[i%nshards]
+		shards[i%nshards].Spawn("worker", func(p *sim.Proc) {
+			for {
+				sig.Wait(p)
+			}
+		})
+	}
+	env.Spawn("driver", func(p *sim.Proc) {
+		for {
+			p.Sleep(1 * sim.Microsecond)
+			for _, sig := range sigs {
+				sig.Fire()
+			}
+		}
+	})
+	b.ResetTimer()
+	env.RunUntil(sim.Time(0).Add(sim.Duration(b.N) * sim.Microsecond))
 }

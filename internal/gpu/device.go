@@ -95,9 +95,10 @@ type Counters struct {
 
 // Device is one simulated GPU.
 type Device struct {
-	env  *sim.Env
-	spec Spec
-	mem  *allocator
+	env   *sim.Env
+	shard *sim.Shard // event domain for the device's stream runners
+	spec  Spec
+	mem   *allocator
 
 	compute *sim.Resource // kernel execution serializes on the device
 	dma     *sim.Resource
@@ -141,6 +142,7 @@ func NewDevice(env *sim.Env, spec Spec) (*Device, error) {
 	//cdivet:allow escape constructed once per simulated GPU at setup, not per iteration
 	return &Device{
 		env:     env,
+		shard:   env.NewShard(),
 		spec:    spec,
 		mem:     newAllocator(spec.MemoryBytes),
 		compute: sim.NewResource(env, 1),
@@ -151,6 +153,11 @@ func NewDevice(env *sim.Env, spec Spec) (*Device, error) {
 
 // Env returns the simulation environment the device lives on.
 func (d *Device) Env() *sim.Env { return d.env }
+
+// Shard returns the device's event domain. Processes that act on behalf of
+// this device (server-side executors, per-device drivers) should be spawned
+// on it so their wake-ups share the device's queue.
+func (d *Device) Shard() *sim.Shard { return d.shard }
 
 // Spec returns the device specification.
 func (d *Device) Spec() Spec { return d.spec }
@@ -212,7 +219,14 @@ type Op struct {
 	bytes   int64
 	enqueue sim.Time
 	done    bool
-	doneSig *sim.Signal
+	// doneSig is this op's private completion signal, embedded so the slab
+	// allocation covers it. A per-op signal (rather than one broadcast
+	// signal shared by every op on the stream) means completing an op wakes
+	// only the processes synchronizing on *that* op: with a shared signal,
+	// k host threads blocked on distinct ops all woke on every completion
+	// and re-parked, turning one completion into k events — the superlinear
+	// term the threads ablation measured.
+	doneSig sim.Signal
 }
 
 // Done reports whether the operation has completed.
@@ -235,7 +249,6 @@ type Stream struct {
 	pending int // queued + executing ops
 	arrive  *sim.Signal
 	drained *sim.Signal
-	opDone  *sim.Signal // broadcast after each op completes; shared by every op on the stream
 	closed  bool
 }
 
@@ -247,12 +260,11 @@ func (d *Device) NewStream() *Stream {
 		dev:     d,
 		arrive:  sim.NewSignal(d.env),
 		drained: sim.NewSignal(d.env),
-		opDone:  sim.NewSignal(d.env),
 	}
 	d.nextStreamID++
 	d.streams = append(d.streams, s)
 	//cdivet:allow hotpath the runner name is built once per stream creation
-	d.env.Spawn(d.spec.Name+"/stream"+strconv.Itoa(s.id), s.run)
+	d.shard.Spawn(d.spec.Name+"/stream"+strconv.Itoa(s.id), s.run)
 	return s
 }
 
@@ -272,7 +284,7 @@ func (s *Stream) enqueue(o *Op) *Op {
 		panic("gpu: enqueue on destroyed stream")
 	}
 	o.enqueue = s.dev.env.Now()
-	o.doneSig = s.opDone
+	o.doneSig.Bind(s.dev.env)
 	s.queue = append(s.queue, o)
 	s.pending++
 	s.dev.allIdle.Add(1)

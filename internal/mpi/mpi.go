@@ -67,8 +67,9 @@ type World struct {
 	env   *sim.Env
 	size  int
 	cost  CostModel
-	inbox [][]*message // per destination rank
-	avail []*sim.Signal
+	inbox  [][]*message // per destination rank
+	avail  []*sim.Signal
+	shards []*sim.Shard // one event domain per rank
 
 	collSeq  []int
 	colls    map[int]*collective
@@ -98,11 +99,15 @@ func NewWorld(env *sim.Env, size int, cost CostModel) *World {
 		cost:    cost,
 		inbox:   make([][]*message, size),
 		avail:   make([]*sim.Signal, size),
+		shards:  make([]*sim.Shard, size),
 		collSeq: make([]int, size),
 		colls:   make(map[int]*collective),
 	}
 	for i := range w.avail {
 		w.avail[i] = sim.NewSignal(env)
+		// One event domain per rank: each rank's compute sleeps and message
+		// waits live in their own queue, mirroring the per-node hardware.
+		w.shards[i] = env.NewShard()
 	}
 	return w
 }
@@ -132,7 +137,7 @@ func (w *World) Spawn(rank int, fn func(r *Rank)) {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("mpi: rank %d out of world size %d", rank, w.size))
 	}
-	w.env.Spawn("rank"+strconv.Itoa(rank), func(p *sim.Proc) {
+	w.shards[rank].Spawn("rank"+strconv.Itoa(rank), func(p *sim.Proc) {
 		fn(&Rank{w: w, rank: rank, p: p})
 	})
 }

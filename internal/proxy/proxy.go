@@ -227,7 +227,9 @@ func Run(cfg Config) (Result, error) {
 	runErrs := make([]error, 0, cfg.Threads)
 	for t := 0; t < cfg.Threads; t++ {
 		offset := sim.Duration(t) * cfg.ThreadOffset
-		env.SpawnAt(offset, "omp"+strconv.Itoa(t), func(p *sim.Proc) {
+		// One shard per OpenMP thread: each thread's sleep/wake traffic
+		// stays in its own queue instead of all threads contending on one.
+		env.NewShard().SpawnAt(offset, "omp"+strconv.Itoa(t), func(p *sim.Proc) {
 			if err := threadLoop(p, ctx, kernel, matBytes, res.Iters, cfg.IterSpacing); err != nil {
 				runErrs = append(runErrs, err)
 			}

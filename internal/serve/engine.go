@@ -162,8 +162,11 @@ func Start(env *sim.Env, tr Transport, cfg Config, reqs []Request) (*Engine, err
 		m:     newMetrics(),
 	}
 	e.m.Requests = len(reqs)
-	env.Spawn("serve-arrivals", func(p *sim.Proc) { e.arrivals(p, reqs) })
-	env.Spawn("serve-batcher", e.batcher)
+	// The engine is one event domain: the arrival clock and the batcher
+	// share a shard, separate from the device shards the transport uses.
+	shard := env.NewShard()
+	shard.Spawn("serve-arrivals", func(p *sim.Proc) { e.arrivals(p, reqs) })
+	shard.Spawn("serve-batcher", e.batcher)
 	return e, nil
 }
 

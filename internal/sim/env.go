@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -13,8 +12,10 @@ type event struct {
 	at   Time
 	seq  uint64 // FIFO tie-break for simultaneous events
 	proc *Proc
-	// cancelled events stay in the heap but are skipped when popped; this is
-	// how racing wake-ups (timeout vs signal) resolve without heap surgery.
+	link *event // intrusive timing-wheel bucket chain
+	// cancelled events stay queued but are skipped when they surface; this
+	// is how racing wake-ups (timeout vs signal) resolve without queue
+	// surgery.
 	cancelled bool
 	// kind distinguishes why the process wakes, so racing wake-ups can
 	// report which one won.
@@ -29,100 +30,297 @@ const (
 	wakeStart
 )
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	//cdivet:allow floateq exact tie-break: events at bit-identical times fall through to the seq FIFO order; an epsilon would merge distinct instants
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
-// Env is a simulation environment: a virtual clock plus the event queue and
-// process bookkeeping that drive it. The zero value is not usable; create
-// environments with NewEnv.
+// Env is a simulation environment: a virtual clock plus the sharded event
+// queues and process bookkeeping that drive it. The zero value is not
+// usable; create environments with NewEnv.
 //
 // Env is not safe for concurrent use from multiple goroutines the caller
 // owns; the engine's determinism comes precisely from running exactly one
 // process at a time.
+//
+// # Scheduling core
+//
+// Pending events live in per-shard queues (see Shard) drained through an
+// ordered merge on (time, seq). Control transfer uses a baton scheme: the
+// scheduler loop runs on whichever goroutine is yielding. When a process
+// parks, it pops the next event itself — if that event is its own wake-up
+// it simply continues (no handoff at all); if it belongs to another process
+// it resumes that process directly (one channel operation instead of the
+// classic resume/park round-trip through a central scheduler goroutine).
+// The driver goroutine that called Run only regains control when the run
+// segment ends. Step and Close fall back to the central-handoff path, which
+// delivers exactly one wake-up per exchange.
 type Env struct {
 	now    Time
-	queue  eventHeap
 	seq    uint64
-	park   chan *Proc // the running process announces it has yielded
-	nprocs int        // live (started, not finished) processes
-	closed bool
+	shards []*Shard
+	shard0 Shard // default domain, embedded to keep NewEnv to one allocation
+
+	// The ordered merge over shard queues is a tournament tree. heads
+	// mirrors each shard's queue head as a flat (time, seq) array (+Inf =
+	// empty shard); merge is a winner tree over mergeCap leaves whose root,
+	// merge[1], always indexes the shard holding the globally earliest
+	// event. dirty lists the shards whose mirror entry is stale — a queue
+	// lands there at most once (guarded by its dirty flag) when a push or
+	// pop drops its cached head — and next() replays only their leaf-to-
+	// root paths: O(log shards) per event. The first version of this merge
+	// rescanned every shard head per event, which profiling measured at a
+	// quarter of the LAMMPS strong-scaling renderer's cycles once worlds
+	// grew to one shard per rank.
+	heads    []headKey
+	merge    []int32
+	mergeCap int
+	dirty    []int32
+
+	horizon Time // current run's clock bound (+Inf outside RunUntil)
+	// direct enables the baton fast path; Step and Close clear it so every
+	// wake-up is delivered from the driver goroutine.
+	direct  bool
+	park    chan struct{} // a yielding process hands the run back to the driver
+	nprocs  int           // live (started, not finished) processes
+	pending int           // queued events across all shards, cancelled included
+	closed  bool
 
 	// parked tracks every process currently blocked on a Signal (not a
 	// timer), so deadlocks can be reported and Close can unwind goroutines.
 	parked map[*Proc]struct{}
 
-	// free recycles consumed events. The hot loop of every simulation is
-	// schedule→Pop→deliver; without a freelist each cycle allocates one
-	// event, which dominates the engine's allocation profile
+	// free recycles consumed events, and slab batch-allocates fresh ones in
+	// 64-event chunks. The hot loop of every simulation is
+	// schedule→pop→deliver; without reuse each cycle would allocate one
+	// event, which dominated the engine's allocation profile
 	// (BenchmarkSimEngineEvents). An event is recycled only once it has
-	// left both the heap and its process's waits list.
+	// left both its queue and its process's waits list.
 	free []*event
+	slab []event
+
+	// shardSlab batch-allocates Shard structs in 8-shard chunks: topologies
+	// mint shards in groups (one per rank, per host, per OpenMP thread), and
+	// sweeps pay that setup once per point, so it shows up in allocs/op.
+	// ringSlab does the same for the shards' timing-wheel bucket arrays,
+	// carved wheelBuckets at a time on first near-term push.
+	shardSlab []Shard
+	ringSlab  []*event
+}
+
+// newRing carves one timing wheel's bucket array from the ring slab.
+func (e *Env) newRing() []*event {
+	if len(e.ringSlab) < wheelBuckets {
+		//cdivet:allow escape wheels are slab-allocated four at a time, on a shard's first near-term event
+		e.ringSlab = make([]*event, 4*wheelBuckets)
+	}
+	r := e.ringSlab[:wheelBuckets:wheelBuckets]
+	e.ringSlab = e.ringSlab[wheelBuckets:]
+	return r
 }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
 	//cdivet:allow escape one environment per simulation run, built at setup
-	return &Env{park: make(chan *Proc), parked: make(map[*Proc]struct{})}
+	e := &Env{park: make(chan struct{}), parked: make(map[*Proc]struct{})}
+	e.shard0.env = e
+	e.shards = append(e.shards, &e.shard0)
+	e.heads = append(e.heads, headKey{at: math.Inf(1), seq: ^uint64(0)})
+	e.horizon = Time(math.Inf(1))
+	return e
 }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
-// schedule enqueues a wake-up event for p and registers it with the
-// process, so that delivering any one of a process's outstanding wake-ups
-// cancels the others.
+// newEvent returns a zeroed event from the freelist or the slab.
+func (e *Env) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	if len(e.slab) == 0 {
+		//cdivet:allow escape freelist miss: one amortized allocation per 64 events, bounded by concurrent wake-ups
+		e.slab = make([]event, 64)
+	}
+	ev := &e.slab[0]
+	e.slab = e.slab[1:]
+	return ev
+}
+
+// schedule enqueues a wake-up event for p on p's shard and registers it
+// with the process, so that delivering any one of a process's outstanding
+// wake-ups cancels the others.
 func (e *Env) schedule(at Time, p *Proc, kind wakeKind) *event {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		*ev = event{at: at, seq: e.seq, proc: p, kind: kind}
-	} else {
-		//cdivet:allow escape freelist miss: steady state recycles events, growth is bounded by concurrent wake-ups
-		ev = &event{at: at, seq: e.seq, proc: p, kind: kind}
+	ev := e.newEvent()
+	ev.at, ev.seq, ev.proc, ev.kind = at, e.seq, p, kind
+	ev.cancelled = false
+	s := p.shard
+	s.push(ev, tickOf(e.now))
+	if !s.q.headValid {
+		e.markDirty(s)
 	}
-	heap.Push(&e.queue, ev)
+	e.pending++
 	p.waits = append(p.waits, ev)
 	return ev
 }
 
+// markDirty queues s for a merge-mirror refresh on the next event pop. The
+// per-queue flag keeps each shard in the list at most once.
+func (e *Env) markDirty(s *Shard) {
+	if !s.q.dirty {
+		s.q.dirty = true
+		e.dirty = append(e.dirty, int32(s.id))
+	}
+}
+
+// headKey is one shard's mirror entry: its queue head's (time, seq), or
+// (+Inf, maxuint) for an empty shard. Packing both into one struct keeps a
+// tournament comparison inside a single cache line per shard.
+type headKey struct {
+	at  float64
+	seq uint64
+}
+
+// headLess orders shard mirror entries like evLess orders events. Two
+// non-empty shards can never tie (seq is globally unique), and the Inf/Inf
+// tie for empty shards resolves to "not less", which keeps replay stable.
+func (e *Env) headLess(a, b int32) bool {
+	x, y := &e.heads[a], &e.heads[b]
+	//cdivet:allow floateq exact tie-break mirroring evLess: equal times fall through to the seq comparison
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	return x.seq < y.seq
+}
+
+// mergeReplay recomputes the tournament path from shard i's leaf to the
+// root after its mirror entry changed.
+func (e *Env) mergeReplay(i int) {
+	m := e.merge
+	for n := (e.mergeCap + i) >> 1; n >= 1; n >>= 1 {
+		l, r := m[2*n], m[2*n+1]
+		if e.headLess(r, l) {
+			m[n] = r
+		} else {
+			m[n] = l
+		}
+	}
+}
+
+// mergeRebuild resizes the tournament tree to the current shard count,
+// padding the mirror with empty-shard sentinels up to the next power of
+// two. It runs on shard creation (topology setup), not per event.
+func (e *Env) mergeRebuild() {
+	c := 1
+	for c < len(e.shards) {
+		c <<= 1
+	}
+	e.mergeCap = c
+	for len(e.heads) < c {
+		e.heads = append(e.heads, headKey{at: math.Inf(1), seq: ^uint64(0)})
+	}
+	if cap(e.merge) >= 2*c {
+		e.merge = e.merge[:2*c]
+	} else {
+		//cdivet:allow escape reallocated only when the shard count crosses a power of two, at topology setup
+		e.merge = make([]int32, 2*c)
+	}
+	// Pre-size the dirty list for the worst case (every shard stale) so
+	// markDirty never grows it on the event path.
+	if cap(e.dirty) < c {
+		//cdivet:allow escape same power-of-two growth schedule as the tree itself
+		nd := make([]int32, len(e.dirty), c)
+		copy(nd, e.dirty)
+		e.dirty = nd
+	}
+	for i := 0; i < c; i++ {
+		e.merge[c+i] = int32(i)
+	}
+	for n := c - 1; n >= 1; n-- {
+		l, r := e.merge[2*n], e.merge[2*n+1]
+		if e.headLess(r, l) {
+			e.merge[n] = r
+		} else {
+			e.merge[n] = l
+		}
+	}
+}
+
 // recycle returns a consumed event to the freelist. The caller must hold
-// the only remaining reference: the event is off the heap and no process
+// the only remaining reference: the event is off its queue and no process
 // waits list contains it.
 func (e *Env) recycle(ev *event) {
 	ev.proc = nil
+	ev.link = nil
 	e.free = append(e.free, ev)
 }
 
-// deliver hands control to the process woken by ev and waits until it
-// yields again. All other outstanding wake-ups for that process are
-// cancelled first: a process wakes exactly once per park.
-func (e *Env) deliver(ev *event) {
+// next pops the earliest live event at or before the horizon, merging the
+// shard queues by (time, seq). It returns nil when the run segment is over:
+// either every queue is empty, or the earliest live event lies beyond the
+// horizon (in which case the clock advances to the horizon, matching the
+// contract of RunUntil).
+func (e *Env) next() *event {
+	cursor := tickOf(e.now)
+	for {
+		var bestEv *event
+		var best *Shard
+		if len(e.shards) == 1 {
+			bestEv = e.shard0.q.peek(cursor)
+			best = &e.shard0
+		} else {
+			// Refresh stale mirror entries and replay their tournament
+			// paths; the root then indexes the shard whose head the single
+			// global queue would have surfaced (seq is globally unique, so
+			// the (time, seq) order is total).
+			if len(e.dirty) > 0 {
+				for _, id := range e.dirty {
+					s := e.shards[id]
+					s.q.dirty = false
+					if ev := s.q.peek(cursor); ev != nil {
+						e.heads[id] = headKey{at: float64(ev.at), seq: ev.seq}
+					} else {
+						e.heads[id] = headKey{at: math.Inf(1), seq: ^uint64(0)}
+					}
+					e.mergeReplay(int(id))
+				}
+				e.dirty = e.dirty[:0]
+			}
+			root := e.merge[1]
+			if !math.IsInf(e.heads[root].at, 1) {
+				best = e.shards[root]
+				bestEv = best.q.head
+			}
+		}
+		if bestEv == nil {
+			return nil
+		}
+		if bestEv.cancelled {
+			best.q.popHead()
+			e.markDirty(best)
+			e.pending--
+			e.recycle(bestEv)
+			continue
+		}
+		if bestEv.at > e.horizon {
+			if e.now < e.horizon {
+				e.now = e.horizon
+			}
+			return nil
+		}
+		best.q.popHead()
+		e.markDirty(best)
+		e.pending--
+		return bestEv
+	}
+}
+
+// wake consumes ev: it cancels the process's rival wake-ups, clears its
+// parked registration, advances the clock, and records the wake kind. The
+// caller transfers control to the returned process (or is it).
+func (e *Env) wake(ev *event) *Proc {
 	p := ev.proc
 	for _, o := range p.waits {
 		if o != ev {
@@ -130,21 +328,52 @@ func (e *Env) deliver(ev *event) {
 		}
 	}
 	p.waits = p.waits[:0]
-	delete(e.parked, p)
-	p.resume <- ev.kind
-	<-e.park
+	if p.sigParked {
+		delete(e.parked, p)
+		p.sigParked = false
+	}
+	e.now = ev.at
+	p.wake = ev.kind
+	e.recycle(ev)
+	return p
 }
 
-// Spawn creates a process running fn and schedules it to start at the
-// current virtual time. fn receives the process handle, through which all
-// blocking primitives are reached. Spawn may be called before Run or from
-// inside a running process.
+// dispatch advances the simulation from a yielding process's goroutine: it
+// pops the next event and either continues inline (the event is self's own
+// wake-up — the zero-handoff fast path), resumes the winning process
+// directly, or hands the baton back to the driver when the segment is over.
+// It reports whether self was woken inline; otherwise self must block on
+// its resume channel.
+func (e *Env) dispatch(self *Proc) bool {
+	ev := e.next()
+	if ev == nil {
+		e.park <- struct{}{}
+		return false
+	}
+	q := e.wake(ev)
+	if q == self {
+		return true
+	}
+	q.resume <- struct{}{}
+	return false
+}
+
+// Spawn creates a process in the default shard running fn and schedules it
+// to start at the current virtual time. fn receives the process handle,
+// through which all blocking primitives are reached. Spawn may be called
+// before Run or from inside a running process. Processes modelling distinct
+// hardware domains should be spawned through per-domain shards (NewShard)
+// instead, which bounds the queue each of their wake-ups touches.
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
-	return e.SpawnAt(0, name, fn)
+	return e.spawnAt(&e.shard0, 0, name, fn)
 }
 
 // SpawnAt is Spawn with a start delay.
 func (e *Env) SpawnAt(delay Duration, name string, fn func(p *Proc)) *Proc {
+	return e.spawnAt(&e.shard0, delay, name, fn)
+}
+
+func (e *Env) spawnAt(s *Shard, delay Duration, name string, fn func(p *Proc)) *Proc {
 	if e.closed {
 		panic("sim: Spawn on closed Env")
 	}
@@ -152,20 +381,32 @@ func (e *Env) SpawnAt(delay Duration, name string, fn func(p *Proc)) *Proc {
 		panic("sim: negative spawn delay")
 	}
 	//cdivet:allow escape one handle and resume channel per spawned process, at spawn time not per iteration
-	p := &Proc{env: e, name: name, resume: make(chan wakeKind)}
+	p := &Proc{env: e, shard: s, name: name, resume: make(chan struct{})}
 	p.waits = p.waitsBuf[:0]
 	e.nprocs++
 	go func() {
 		defer func() {
 			r := recover()
 			if r != nil && r != errAborted {
-				// Re-panic application errors on the scheduler's stack
+				// Re-panicking application errors on the scheduler's stack
 				// would be nicer, but surfacing them here keeps the trace.
 				panic(r)
 			}
 			p.finished = true
 			e.nprocs--
-			e.park <- p
+			if !e.direct {
+				e.park <- struct{}{}
+				return
+			}
+			// Baton mode: the dying goroutine keeps the scheduler loop
+			// going. A finished process has no pending wake-ups, so the
+			// next event always belongs to someone else (or ends the run).
+			ev := e.next()
+			if ev == nil {
+				e.park <- struct{}{}
+				return
+			}
+			e.wake(ev).resume <- struct{}{}
 		}()
 		<-p.resume
 		if p.aborted {
@@ -184,50 +425,41 @@ func (e *Env) Run() Time {
 	return e.RunUntil(Time(math.Inf(1)))
 }
 
-// RunUntil drives the simulation until the event queue is exhausted or the
-// next event lies beyond horizon. The clock never advances past horizon.
+// RunUntil drives the simulation until the event queues are exhausted or
+// the next event lies beyond horizon. The clock never advances past
+// horizon. Within the run, wake-ups are delivered via the baton fast path:
+// control flows process-to-process without bouncing through this
+// goroutine, which only resumes when the segment ends.
 func (e *Env) RunUntil(horizon Time) Time {
 	if e.closed {
 		panic("sim: RunUntil on closed Env")
 	}
-	for len(e.queue) > 0 {
-		// Peek before popping: an event beyond the horizon stays in place
-		// for a later RunUntil call instead of paying a pop + re-push
-		// (two O(log n) sift passes) just to look at its timestamp.
-		ev := e.queue[0]
-		if ev.cancelled {
-			heap.Pop(&e.queue)
-			e.recycle(ev)
-			continue
-		}
-		if ev.at > horizon {
-			if e.now < horizon {
-				e.now = horizon
-			}
-			return e.now
-		}
-		heap.Pop(&e.queue)
-		e.now = ev.at
-		e.deliver(ev)
-		e.recycle(ev)
+	e.horizon = horizon
+	e.direct = true
+	ev := e.next()
+	if ev == nil {
+		e.direct = false
+		return e.now
 	}
+	e.wake(ev).resume <- struct{}{}
+	<-e.park
+	e.direct = false
 	return e.now
 }
 
-// Step runs a single event and reports whether one was available.
+// Step runs a single event and reports whether one was available. Unlike
+// RunUntil, the woken process hands control straight back after one
+// wake-up, so Step always pays the full driver round-trip.
 func (e *Env) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			e.recycle(ev)
-			continue
-		}
-		e.now = ev.at
-		e.deliver(ev)
-		e.recycle(ev)
-		return true
+	e.horizon = Time(math.Inf(1))
+	e.direct = false
+	ev := e.next()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.wake(ev).resume <- struct{}{}
+	<-e.park
+	return true
 }
 
 // Blocked returns the names of processes parked on Signals with no pending
@@ -255,6 +487,8 @@ func (e *Env) Close() {
 		return
 	}
 	e.closed = true
+	e.direct = false
+	e.horizon = Time(math.Inf(1))
 	// Unwind processes parked on signals.
 	//cdivet:allow maporder teardown after results are final: aborted processes run no model code, so unwind order is unobservable
 	for p := range e.parked {
@@ -263,26 +497,27 @@ func (e *Env) Close() {
 		}
 		p.waits = nil
 		p.aborted = true
-		p.resume <- wakeSignal
+		p.resume <- struct{}{}
 		<-e.park
 	}
 	//cdivet:allow escape teardown: Close runs once per environment
 	e.parked = map[*Proc]struct{}{}
-	// Unwind processes parked on timers (or not yet started).
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			e.recycle(ev)
-			continue
+	// Unwind processes parked on timers (or not yet started), including
+	// wake-ups still sitting in wheel buckets or far heaps.
+	for {
+		ev := e.next()
+		if ev == nil {
+			return
 		}
-		ev.proc.aborted = true
-		e.deliver(ev)
-		e.recycle(ev)
+		p := e.wake(ev)
+		p.aborted = true
+		p.resume <- struct{}{}
+		<-e.park
 	}
 }
 
 // String summarizes the environment state for debugging.
 func (e *Env) String() string {
-	return fmt.Sprintf("sim.Env{now: %v, queued: %d, live: %d, blocked: %d}",
-		e.now, len(e.queue), e.nprocs, len(e.parked))
+	return fmt.Sprintf("sim.Env{now: %v, queued: %d, live: %d, blocked: %d, shards: %d}",
+		e.now, e.pending, e.nprocs, len(e.parked), len(e.shards))
 }

@@ -15,11 +15,17 @@ var ErrTimeout = errors.New("sim: wait timed out")
 // must not be shared between process functions.
 type Proc struct {
 	env      *Env
+	shard    *Shard // owns the queue this process's wake-ups land in
 	name     string
-	resume   chan wakeKind
+	resume   chan struct{}
+	wake     wakeKind // why the last resume happened, set before the handoff
 	waits    []*event // outstanding wake-ups while parked
 	finished bool
 	aborted  bool
+	// sigParked mirrors membership in env.parked, so the wake path can skip
+	// the map delete — a measurable cost per event — for the overwhelmingly
+	// common timer wake-ups that were never in the map.
+	sigParked bool
 
 	// waitsBuf backs waits inline: a process has at most two outstanding
 	// wake-ups in every blocking primitive the package offers (a timer
@@ -34,18 +40,32 @@ func (p *Proc) Name() string { return p.name }
 // Env returns the environment that owns this process.
 func (p *Proc) Env() *Env { return p.env }
 
+// Shard returns the event domain the process was spawned into.
+func (p *Proc) Shard() *Shard { return p.shard }
+
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
 
-// yield parks the process and hands control back to the scheduler; it
-// returns the kind of event that woke the process up.
+// yield parks the process until its next wake-up and returns the wake kind.
+// Inside Run/RunUntil this is the baton handoff: the yielding goroutine
+// dispatches the next event itself, so a process whose own wake-up is next
+// continues with no channel operation at all, and a switch to another
+// process costs a single send. Outside the direct path (Step, Close) the
+// baton goes back to the driver goroutine, which delivers the next wake-up.
 func (p *Proc) yield() wakeKind {
-	p.env.park <- p
-	kind := <-p.resume
+	e := p.env
+	if e.direct {
+		if e.dispatch(p) {
+			return p.wake
+		}
+	} else {
+		e.park <- struct{}{}
+	}
+	<-p.resume
 	if p.aborted {
 		panic(errAborted)
 	}
-	return kind
+	return p.wake
 }
 
 // Sleep suspends the process for d of virtual time. Negative durations are
@@ -71,12 +91,30 @@ func (p *Proc) Yield() { p.Sleep(0) }
 type Signal struct {
 	env     *Env
 	waiters []*Proc
+	// wbuf backs waiters inline while there are at most two: per-operation
+	// completion signals (gpu.Op) almost always see exactly one waiter, and
+	// without the buffer each such wait would allocate a one-element slice.
+	wbuf [2]*Proc
 }
 
 // NewSignal returns a Signal bound to env.
 func NewSignal(env *Env) *Signal {
 	//cdivet:allow escape signals are created when their owning structure is built, not per iteration
-	return &Signal{env: env}
+	s := &Signal{env: env}
+	s.waiters = s.wbuf[:0]
+	return s
+}
+
+// Bind associates a zero-value Signal with env. It exists so Signals can be
+// embedded in slab-allocated structures (per-operation completion signals on
+// device queues) instead of paying one allocation each via NewSignal. Bind
+// must run before the first Wait; rebinding an idle Signal to the same env
+// is a no-op.
+func (s *Signal) Bind(env *Env) {
+	s.env = env
+	if s.waiters == nil {
+		s.waiters = s.wbuf[:0]
+	}
 }
 
 // remove drops p from the waiter list if present.
@@ -93,6 +131,7 @@ func (s *Signal) remove(p *Proc) {
 func (s *Signal) Wait(p *Proc) {
 	s.waiters = append(s.waiters, p)
 	p.env.parked[p] = struct{}{}
+	p.sigParked = true
 	p.yield()
 }
 
@@ -102,12 +141,12 @@ func (s *Signal) Wait(p *Proc) {
 func (s *Signal) WaitTimeout(p *Proc, d Duration) error {
 	s.waiters = append(s.waiters, p)
 	p.env.parked[p] = struct{}{}
+	p.sigParked = true
 	p.env.schedule(p.env.now.Add(d), p, wakeTimer)
 	if p.yield() == wakeTimer {
 		// The deadline won; we are no longer a live waiter. (If Fire ran in
 		// the same instant after the timer delivered, it already dropped us.)
 		s.remove(p)
-		delete(p.env.parked, p)
 		return ErrTimeout
 	}
 	return nil
@@ -124,7 +163,10 @@ func (s *Signal) Fire() {
 	waiters := s.waiters
 	s.waiters = s.waiters[:0]
 	for _, p := range waiters {
-		delete(s.env.parked, p)
+		if p.sigParked {
+			delete(s.env.parked, p)
+			p.sigParked = false
+		}
 		s.env.schedule(s.env.now, p, wakeSignal)
 	}
 }
@@ -138,7 +180,10 @@ func (s *Signal) FireOne() bool {
 	p := s.waiters[0]
 	copy(s.waiters, s.waiters[1:])
 	s.waiters = s.waiters[:len(s.waiters)-1]
-	delete(s.env.parked, p)
+	if p.sigParked {
+		delete(s.env.parked, p)
+		p.sigParked = false
+	}
 	s.env.schedule(s.env.now, p, wakeSignal)
 	return true
 }

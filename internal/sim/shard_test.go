@@ -1,0 +1,135 @@
+package sim
+
+import "testing"
+
+// Delivery order at a shared instant must follow the global schedule
+// sequence, not shard topology: procs spread round-robin over the default
+// domain plus three explicit shards wake in exact spawn order.
+func TestSameInstantOrderingAcrossShards(t *testing.T) {
+	env := NewEnv()
+	defer env.Close()
+	shards := []*Shard{env.NewShard(), env.NewShard(), env.NewShard()}
+	var order []int
+	for i := 0; i < 12; i++ {
+		i := i
+		body := func(p *Proc) {
+			p.Sleep(5 * Microsecond)
+			order = append(order, i)
+		}
+		if i%4 == 0 {
+			env.Spawn("p", body) // default shard 0
+		} else {
+			shards[i%4-1].Spawn("p", body)
+		}
+	}
+	env.Run()
+	if len(order) != 12 {
+		t.Fatalf("%d procs woke, want 12", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want ascending spawn order", order)
+		}
+	}
+}
+
+// The WaitTimeout exact-instant tie must resolve identically when the
+// waiter and the firer live on different shards: the deadline timer always
+// carries the earlier sequence number, so the timeout wins in both spawn
+// orders, exactly as it does single-shard (see waittimeout_test.go).
+func TestWaitTimeoutTieBreakAcrossShards(t *testing.T) {
+	for _, firerFirst := range []bool{true, false} {
+		env := NewEnv()
+		sa, sb := env.NewShard(), env.NewShard()
+		sig := NewSignal(env)
+		var err error
+		var wokeAt Time
+		waiter := func(p *Proc) {
+			err = sig.WaitTimeout(p, 10*Microsecond)
+			wokeAt = p.Now()
+		}
+		firer := func(p *Proc) {
+			p.Sleep(10 * Microsecond)
+			sig.Fire()
+		}
+		if firerFirst {
+			sa.Spawn("firer", firer)
+			sb.Spawn("waiter", waiter)
+		} else {
+			sa.Spawn("waiter", waiter)
+			sb.Spawn("firer", firer)
+		}
+		env.Run()
+		env.Close()
+		if err != ErrTimeout {
+			t.Errorf("firerFirst=%v: err = %v, want ErrTimeout", firerFirst, err)
+		}
+		if wokeAt != Time(0).Add(10*Microsecond) {
+			t.Errorf("firerFirst=%v: woke at %v, want 10µs", firerFirst, wokeAt)
+		}
+		if n := sig.Waiters(); n != 0 {
+			t.Errorf("firerFirst=%v: %d waiters left on the list", firerFirst, n)
+		}
+	}
+}
+
+// Close must unwind processes whose pending wake-ups still sit in wheel
+// buckets (near-term sleeps) and far heaps (sleeps beyond the wheel
+// window), across shards, without running any more model code.
+func TestCloseWithPendingWheelEntries(t *testing.T) {
+	env := NewEnv()
+	s := env.NewShard()
+	finished := 0
+	env.Spawn("near", func(p *Proc) {
+		p.Sleep(50 * Microsecond) // within the 256µs wheel window: ring entry
+		finished++
+	})
+	s.Spawn("far", func(p *Proc) {
+		p.Sleep(5 * Millisecond) // beyond the wheel window: far-heap entry
+		finished++
+	})
+	// A start event parked in the far heap of a shard, never delivered.
+	s.SpawnAt(10*Millisecond, "unstarted", func(p *Proc) { finished++ })
+	env.RunUntil(Time(0).Add(10 * Microsecond))
+	if got := env.Live(); got != 3 {
+		t.Fatalf("Live() = %d before Close, want 3 (two sleepers, one undelivered start)", got)
+	}
+	env.Close()
+	if got := env.Live(); got != 0 {
+		t.Errorf("Live() = %d after Close, want 0", got)
+	}
+	if finished != 0 {
+		t.Errorf("%d aborted process bodies ran past their sleep", finished)
+	}
+}
+
+// A horizon falling between two events of the same wheel bucket must
+// deliver the earlier one, clamp the clock exactly to the horizon, and
+// leave the later one for the next run — including on a non-default shard.
+func TestRunUntilHorizonWithinWheelBucket(t *testing.T) {
+	env := NewEnv()
+	defer env.Close()
+	var wokeEarly, wokeLate Time
+	env.Spawn("early", func(p *Proc) {
+		p.Sleep(200 * Nanosecond)
+		wokeEarly = p.Now()
+	})
+	env.NewShard().Spawn("late", func(p *Proc) {
+		p.Sleep(800 * Nanosecond)
+		wokeLate = p.Now()
+	})
+	h := Time(0).Add(500 * Nanosecond) // mid-bucket: both events are in tick 0
+	if got := env.RunUntil(h); got != h {
+		t.Fatalf("RunUntil = %v, want clock clamped to %v", got, h)
+	}
+	if want := Time(0).Add(200 * Nanosecond); wokeEarly != want {
+		t.Errorf("early woke at %v, want %v", wokeEarly, want)
+	}
+	if wokeLate != 0 {
+		t.Errorf("late woke at %v, before the horizon", wokeLate)
+	}
+	env.Run()
+	if want := Time(0).Add(800 * Nanosecond); wokeLate != want {
+		t.Errorf("late woke at %v, want %v", wokeLate, want)
+	}
+}
