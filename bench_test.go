@@ -7,6 +7,7 @@ package cdi
 //
 //	go test -bench=. -benchmem
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -415,9 +416,10 @@ func BenchmarkLAMMPSHybridStep(b *testing.B) {
 	}
 }
 
-// BenchmarkCdivetModule measures one full eleven-analyzer pass — per-file
+// BenchmarkCdivetModule measures one full thirteen-analyzer pass — per-file
 // rules plus the module-wide dataflow layer (call graph, taint fixpoint,
-// wait-point propagation, hot-path allocation and escape analysis) — over
+// wait-point propagation, hot-path allocation and escape analysis, shard
+// affinity and the signal wait graph) — over
 // the already-loaded module. Parsing and type-checking run once outside the
 // timed loop, as cdivet itself amortizes them across analyzers; -benchmem
 // makes allocation regressions in the dataflow engine visible.
@@ -553,11 +555,12 @@ func BenchmarkServeSteadyState(b *testing.B) {
 // fan-out round — 10k signal wake-ups scheduled at the same instant, merged
 // across shards in (time, seq) order, plus 10k re-waits.
 //
-// It must stay the LAST benchmark in the suite: the Go runtime pools dead
-// goroutine descriptors process-wide and never frees them, so once 10k
-// workers have existed, every later GC cycle in the same process scans them
-// — measured as a 2× ns/op inflation on wake-heavy benchmarks
-// (BenchmarkMPIAllreduce 42µs → 83µs) when this ran mid-suite.
+// The benchmark tears its environment down eagerly: Close unwinds the 10k
+// parked workers off the timed path and the forced GC releases their
+// stacks before the next benchmark starts. Without that, later wake-heavy
+// benchmarks in the same process paid a measured 2× ns/op inflation
+// (BenchmarkMPIAllreduce 42µs → 83µs) from GC cycles scanning the pooled
+// dead goroutines this benchmark left behind.
 func BenchmarkSimEngineFanout(b *testing.B) {
 	const (
 		nprocs  = 10000
@@ -589,4 +592,7 @@ func BenchmarkSimEngineFanout(b *testing.B) {
 	})
 	b.ResetTimer()
 	env.RunUntil(sim.Time(0).Add(sim.Duration(b.N) * sim.Microsecond))
+	b.StopTimer()
+	env.Close()
+	runtime.GC()
 }

@@ -10,6 +10,7 @@
 //	cdivet -fix -diff ./...        # print the fixes as a unified diff instead
 //	cdivet -baseline b.json ./...  # suppress findings recorded in b.json
 //	cdivet -write-baseline b.json  # record current findings as the baseline
+//	cdivet -prune-baseline b.json  # shrink b.json to what findings still justify
 //	cdivet -directives ./...       # inventory //cdivet:allow directives
 //	cdivet -list                   # describe every rule
 //
@@ -41,6 +42,7 @@ func main() {
 	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline file")
 	writeBaseline := flag.String("write-baseline", "", "record current findings to this file and exit 0")
+	pruneBaseline := flag.String("prune-baseline", "", "drop baseline entries the current findings no longer justify and rewrite the file")
 	directives := flag.Bool("directives", false, "inventory //cdivet:allow directives; exit 1 on malformed or stale ones")
 	flag.Parse()
 
@@ -91,6 +93,30 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "cdivet: baselined %d finding(s) in %s\n", len(findings), *writeBaseline)
+		return
+	}
+	if *pruneBaseline != "" {
+		b, err := analysis.ReadBaseline(*pruneBaseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pruned, removed, trimmed := b.Prune(findings, m.Root)
+		for _, e := range removed {
+			fmt.Fprintf(os.Stderr, "cdivet: pruned: %s %s %q\n", e.Rule, e.File, e.Message)
+		}
+		for _, e := range trimmed {
+			fmt.Fprintf(os.Stderr, "cdivet: trimmed %d of: %s %s %q\n", e.Count, e.Rule, e.File, e.Message)
+		}
+		if len(removed) == 0 && len(trimmed) == 0 {
+			fmt.Fprintf(os.Stderr, "cdivet: baseline %s already minimal\n", *pruneBaseline)
+			return
+		}
+		if err := analysis.WriteBaseline(*pruneBaseline, pruned); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cdivet: rewrote %s with %d entries\n", *pruneBaseline, len(pruned.Entries))
 		return
 	}
 	if *baselinePath != "" {

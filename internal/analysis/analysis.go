@@ -23,6 +23,8 @@
 //	waitlock    sync.Mutex held across a simulated wait point
 //	hotpath     per-iteration allocation patterns in benchmark-reachable code
 //	escape      escaping heap allocations in hot loops, with escape reasons
+//	shardsafety cross-shard write to shard-owned state without a wait edge
+//	waitgraph   sim.Signal deadlock / lost-wake / unbound-use patterns
 //
 // The first six are per-file syntactic/type checks. The rest run on a
 // module-wide dataflow layer (dataflow.go, callgraph.go, hotness.go): taint
@@ -30,7 +32,10 @@
 // calls and reports only at sinks, so the sorted-keys idiom stays silent
 // while a map-order value laundered through a helper in another package is
 // still caught; hotpath and escape work over the set of functions reachable
-// from the benchmark call graph and the configured steady-state roots.
+// from the benchmark call graph and the configured steady-state roots; and
+// shardsafety and waitgraph reason over the shard-affinity context
+// (shardctx.go) the PR 7 sharded engine introduced — which proc runs on
+// which event domain, and how sim.Signal wait/fire edges order them.
 //
 // Intentional exceptions are suppressed in source with a justified
 // directive on, or immediately above, the offending line:
@@ -165,6 +170,8 @@ func All() []*Analyzer {
 		WaitLock,
 		Hotpath,
 		Escape,
+		ShardSafety,
+		WaitGraph,
 	}
 }
 

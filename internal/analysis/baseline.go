@@ -101,6 +101,45 @@ func (b *Baseline) Filter(findings []Finding, root string) ([]Finding, int) {
 	return kept, suppressed
 }
 
+// Prune shrinks the baseline to what the given findings still justify:
+// entries with no live match are dropped, and entries whose count exceeds
+// the live occurrence count are trimmed down to it. It returns the new
+// baseline plus the entries removed outright and the entries whose counts
+// were reduced (with Count set to the amount trimmed). Unlike re-cutting
+// with -write-baseline, pruning can only shrink the debt — it never
+// absorbs new findings.
+func (b *Baseline) Prune(findings []Finding, root string) (pruned *Baseline, removed, trimmed []BaselineEntry) {
+	live := map[string]int{}
+	for _, f := range findings {
+		live[baselineKey(f.Rule, relURI(root, f.File), f.Message)]++
+	}
+	pruned = &Baseline{Version: b.Version}
+	out := pruned
+	for _, e := range b.Entries {
+		k := baselineKey(e.Rule, filepath.ToSlash(e.File), e.Message)
+		c := e.Count
+		if c <= 0 {
+			c = 1
+		}
+		n := live[k]
+		live[k] = 0 // duplicate entries for one key must not double-claim
+		switch {
+		case n == 0:
+			removed = append(removed, e)
+		case n < c:
+			kept := e
+			kept.Count = n
+			out.Entries = append(out.Entries, kept)
+			cut := e
+			cut.Count = c - n
+			trimmed = append(trimmed, cut)
+		default:
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out, removed, trimmed
+}
+
 // Stale returns baseline entries that no longer match any finding — the
 // signal to re-cut or hand-prune the baseline file.
 func (b *Baseline) Stale(findings []Finding, root string) []BaselineEntry {

@@ -35,6 +35,16 @@ type callGraph struct {
 	byObj  map[*types.Func]*funcNode
 }
 
+// callGraphFor returns the module's call graph, built once and shared by
+// every module-wide analyzer in the run: the graph is pure derived data,
+// and rebuilding it per analyzer dominated cdivet's own benchmark.
+func callGraphFor(m *Module) *callGraph {
+	if m.cg == nil {
+		m.cg = buildCallGraph(m)
+	}
+	return m.cg
+}
+
 // buildCallGraph walks the base files of every package. It resolves call
 // expressions through each package's type info; calls through function
 // values or interfaces have no static callee and simply contribute no edge

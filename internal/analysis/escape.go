@@ -32,7 +32,7 @@ var Escape = &Analyzer{
 }
 
 func runEscape(mp *ModulePass) {
-	g := buildCallGraph(mp.Module)
+	g := callGraphFor(mp.Module)
 	h := computeHotness(g)
 	for _, n := range g.nodes {
 		hf := h.fns[n]
@@ -483,7 +483,7 @@ type moduleEscapeSite struct {
 // escapeSitesInModule classifies every allocation site in every base
 // function of the module, regardless of hotness.
 func escapeSitesInModule(m *Module) []moduleEscapeSite {
-	g := buildCallGraph(m)
+	g := callGraphFor(m)
 	var out []moduleEscapeSite
 	for _, n := range g.nodes {
 		sites := allocSites(n)

@@ -32,7 +32,7 @@ var Hotpath = &Analyzer{
 }
 
 func runHotpath(mp *ModulePass) {
-	g := buildCallGraph(mp.Module)
+	g := callGraphFor(mp.Module)
 	h := computeHotness(g)
 	for _, n := range g.nodes {
 		hf := h.fns[n]

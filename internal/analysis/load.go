@@ -43,6 +43,12 @@ type Module struct {
 	Path     string // module path from go.mod
 	Fset     *token.FileSet
 	Packages []*Package // in deterministic (path) order
+
+	// cg and shardCtx memoize the module-wide structures the dataflow
+	// analyzers share, built on first use (callGraphFor, shardContextFor).
+	// Module analysis is sequential, so plain fields suffice.
+	cg       *callGraph
+	shardCtx *shardContext
 }
 
 // LoadModule parses and type-checks every package of the module containing

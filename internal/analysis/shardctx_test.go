@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyTree clones a corpus directory (including subpackages) into a
+// scratch dir, skipping underscore-prefixed entries such as _golden.
+func copyTree(t *testing.T, src string) string {
+	t.Helper()
+	tmp := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		if strings.HasPrefix(filepath.Base(rel), "_") {
+			if info.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		dst := filepath.Join(tmp, rel)
+		if info.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmp
+}
+
+// TestShardSafetyFixGolden: the directive-insertion fix for the
+// mutate-then-fire handoff must produce byte-identical output to the
+// committed golden, and the fixed file must silence exactly that finding
+// (the corpus's other findings are deliberate and fixless).
+func TestShardSafetyFixGolden(t *testing.T) {
+	tmp := copyTree(t, filepath.Join("testdata", "shardsafety"))
+	m, err := LoadDirAs(tmp, corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(m, Config{Analyzers: []*Analyzer{ShardSafety}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixable := 0
+	for _, f := range findings {
+		if f.Fix != nil {
+			fixable++
+		}
+	}
+	if fixable != 1 {
+		t.Fatalf("want exactly 1 fixable handoff finding, got %d of %d total", fixable, len(findings))
+	}
+	res, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || len(res.Fixed) != 1 {
+		t.Fatalf("want 1 applied fix in 1 file, got %d in %d", res.Applied, len(res.Fixed))
+	}
+	for _, file := range sortedFiles(res.Fixed) {
+		if err := os.WriteFile(file, res.Fixed[file], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, filepath.Join("testdata", "shardsafety", "_golden", filepath.Base(file)+".golden"), res.Fixed[file])
+	}
+
+	m, err = LoadDirAs(tmp, corpusPath)
+	if err != nil {
+		t.Fatalf("fixed corpus no longer loads: %v", err)
+	}
+	after, err := RunModule(m, Config{Analyzers: []*Analyzer{ShardSafety}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(findings)-1 {
+		t.Errorf("fixed corpus reports %d findings, want %d", len(after), len(findings)-1)
+	}
+	for _, f := range after {
+		if f.Fix != nil {
+			t.Errorf("fixed corpus still reports a fixable finding: %s", f)
+		}
+	}
+}
+
+// TestShardAnnotationMalformed: broken //cdivet:shard directives are
+// findings, not silent no-ops — an annotation that quietly parses to
+// nothing would disable the very checking it was written to enable.
+func TestShardAnnotationMalformed(t *testing.T) {
+	tmp := t.TempDir()
+	src := `package corpus
+
+type widget struct {
+	count int //cdivet:shard()
+}
+
+//cdivet:shard(two words)
+type gadget struct {
+	depth int
+}
+`
+	if err := os.WriteFile(filepath.Join(tmp, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadDirAs(tmp, corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(m, Config{Analyzers: []*Analyzer{ShardSafety}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("want 2 malformed-annotation findings, got %d: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "malformed shard annotation") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+)
+
+// ShardSafety reports writes to shard-owned state from processes whose
+// inferred shard affinity is different from (or wider than) the owning
+// domain, unless the write is ordered after a sim.Signal wait point.
+//
+// The sharded engine keeps one global (time, seq) delivery order, so
+// cross-shard mutation is not a data race in the Go sense — it is a
+// determinism hazard: state owned by one domain's procs observed or mutated
+// mid-quantum by another domain's procs couples results to scheduling
+// details the shard layout is supposed to make irrelevant. The rule enforces
+// the discipline DESIGN.md's "Shard affinity invariants" section states:
+// shard-owned state is written by its own domain, or the writer first parks
+// on a Signal (Wait/WaitTimeout), making the ordering an explicit
+// happens-before edge in the event graph.
+//
+// A write that is immediately published back to the owning domain by a
+// Signal Fire/FireOne later in the same body (the mutate-then-fire handoff
+// idiom) is still reported, but carries an autofix inserting the suppression
+// directive, because the fire makes the ordering explicit and reviewable.
+var ShardSafety = &Analyzer{
+	Name:      "shardsafety",
+	Doc:       "write to shard-owned state from a proc with different or unknown shard affinity",
+	RunModule: runShardSafety,
+}
+
+func runShardSafety(mp *ModulePass) {
+	sc := shardContextFor(mp.Module)
+	for _, bad := range sc.ann.bad {
+		mp.Reportf(bad.pos, "%s", bad.msg)
+	}
+	for _, r := range sc.regions {
+		if r.inSimPackage() || len(r.affinity) == 0 {
+			continue
+		}
+		checkRegionWrites(mp, sc, r)
+	}
+}
+
+// checkRegionWrites scans one region's own statements for writes to
+// annotated state fields and reports the cross-domain ones.
+func checkRegionWrites(mp *ModulePass, sc *shardContext, r *shardRegion) {
+	info := r.pkg.Info
+
+	// Signal wait and fire positions in this region, in source order. A wait
+	// earlier in the body is a happens-before edge covering later writes; a
+	// fire later in the body marks the mutate-then-fire handoff that makes a
+	// finding autofixable.
+	var waits, fires []token.Pos
+	inspectRegion(r.body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, _, ok := simMethod(info, call, "Signal"); ok {
+			switch name {
+			case "Wait", "WaitTimeout":
+				waits = append(waits, call.Pos())
+			case "Fire", "FireOne":
+				fires = append(fires, call.Pos())
+			}
+		}
+		return true
+	})
+
+	report := func(stmt ast.Stmt, target ast.Expr) {
+		fi := annotatedStateField(sc, info, target)
+		if fi == nil {
+			return
+		}
+		if len(r.affinity) == 1 && r.affinity[fi.domain] {
+			return
+		}
+		pos := target.Pos()
+		for _, w := range waits {
+			if w < pos {
+				return // ordered after an explicit wait point
+			}
+		}
+		var fix *Fix
+		for _, f := range fires {
+			if f > pos {
+				fix = shardAllowFix(mp.Module.Fset, stmt)
+				break
+			}
+		}
+		mp.ReportFixf(pos, fix,
+			"write to %s (owned by shard domain %s) from %s with shard affinity %s; run the writer on the owning domain or order the write after a sim.Signal wait point",
+			fi.owner, fi.domain, r.describe(), affinityLabel(r.affinity))
+	}
+
+	inspectRegion(r.body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				report(node, lhs)
+			}
+		case *ast.IncDecStmt:
+			report(node, node.X)
+		}
+		return true
+	})
+}
+
+// annotatedStateField walks a write target's selector chain outward and
+// returns the first annotated state field it crosses: d.counters.Kernels++
+// is a write to the annotated counters field even though Kernels itself
+// carries no annotation. Binder fields never match — reassigning a *Shard
+// pointer is a topology change, not a state write.
+func annotatedStateField(sc *shardContext, info *types.Info, e ast.Expr) *shardFieldInfo {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[x]; ok {
+				if v, ok := s.Obj().(*types.Var); ok {
+					if fi := sc.ann.fields[v]; fi != nil && !fi.binder {
+						return fi
+					}
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// shardAllowFix builds the directive-insertion fix for a mutate-then-fire
+// handoff site: a suppression line above the write, matching its
+// indentation. Writes sharing a line with other code get no fix.
+func shardAllowFix(fset *token.FileSet, stmt ast.Stmt) *Fix {
+	pos := fset.Position(stmt.Pos())
+	src, err := os.ReadFile(pos.Filename)
+	if err != nil {
+		return nil
+	}
+	tf := fset.File(stmt.Pos())
+	lineStart := tf.Offset(tf.LineStart(pos.Line))
+	if lineStart < 0 || pos.Offset > len(src) {
+		return nil
+	}
+	indent := string(src[lineStart:pos.Offset])
+	if strings.TrimSpace(indent) != "" {
+		return nil
+	}
+	return &Fix{
+		Message: "record the mutate-then-fire handoff as an explicit suppression",
+		Edits: []TextEdit{{
+			File:   pos.Filename,
+			Offset: lineStart,
+			End:    lineStart,
+			Text:   indent + "//cdivet:allow shardsafety cross-shard handoff: the write is published to the owning domain by the Signal fire below\n",
+		}},
+	}
+}

@@ -17,7 +17,7 @@ var Taint = &Analyzer{
 }
 
 func runTaint(mp *ModulePass) {
-	g := buildCallGraph(mp.Module)
+	g := callGraphFor(mp.Module)
 
 	// Summary fixpoint: re-derive (returnsTaint, retParams, sinkParams) for
 	// every function until stable. Convergence is fast in practice; the

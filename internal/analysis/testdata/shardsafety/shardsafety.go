@@ -1,0 +1,138 @@
+// The shardsafety corpus: state owned by a shard domain via
+// //cdivet:shard(<domain>) annotations, written by procs whose inferred
+// affinity matches, mismatches, or is unknown.
+package corpus
+
+import (
+	sim "repro/internal/corpus/internal/sim"
+	"repro/internal/corpus/state"
+)
+
+// engine is a batcher-like owner of per-domain state.
+type engine struct {
+	// shard is the domain binder: procs spawned through it carry the domain.
+	//cdivet:shard(corpus.engine)
+	shard *sim.Shard
+	//cdivet:shard(corpus.engine)
+	queue []int
+	//cdivet:shard(corpus.engine)
+	depth int
+	more  *sim.Signal
+}
+
+// Shard exposes the binder through the single-return accessor shape the
+// inference resolves.
+func (e *engine) Shard() *sim.Shard { return e.shard }
+
+// run mutates owned state from its own domain: clean.
+func (e *engine) run(p *sim.Proc) {
+	e.queue = append(e.queue, 1)
+	e.depth++
+}
+
+// bump is a helper whose affinity arrives through its callers.
+func (e *engine) bump() {
+	e.depth++ // want
+}
+
+// ownerWrites spawns the owner's procs through the binder field and the
+// accessor: both writers land on the owning domain.
+func ownerWrites(env *sim.Env) {
+	e := &engine{shard: env.NewShard(), more: sim.NewSignal(env)}
+	e.shard.Spawn("runner", e.run)
+	e.Shard().Spawn("runner2", func(p *sim.Proc) {
+		e.depth++
+	})
+}
+
+// foreignWriter mutates owned state from the default domain, directly and
+// through a helper call.
+func foreignWriter(env *sim.Env, e *engine) {
+	env.Spawn("host", func(p *sim.Proc) {
+		e.queue = append(e.queue, 2) // want
+		e.bump()
+	})
+}
+
+// waitedWriter orders its write after a Signal wait point: clean.
+func waitedWriter(env *sim.Env, e *engine) {
+	env.Spawn("waiter", func(p *sim.Proc) {
+		e.more.Wait(p)
+		e.queue = e.queue[:0]
+	})
+}
+
+// handoff mutates then fires: still flagged, but the fire below makes the
+// site autofixable with a suppression directive.
+func handoff(env *sim.Env, e *engine) {
+	env.Spawn("producer", func(p *sim.Proc) {
+		e.queue = append(e.queue, 3) // want
+		e.more.Fire()
+	})
+}
+
+// suppressed records a justified exception: no finding.
+func suppressed(env *sim.Env, e *engine) {
+	env.Spawn("scribe", func(p *sim.Proc) {
+		//cdivet:allow shardsafety corpus case: writer drains before the owner restarts
+		e.depth--
+	})
+}
+
+// localAnnotated names a local shard's domain on its assignment line, so
+// its procs match the owner.
+func localAnnotated(env *sim.Env, e *engine) {
+	own := env.NewShard() //cdivet:shard(corpus.engine)
+	own.Spawn("adopted", func(p *sim.Proc) {
+		e.depth++
+	})
+}
+
+// spawnSiteAnnotated pins the spawned proc's domain at the call site;
+// corpus.omp does not own the queue.
+func spawnSiteAnnotated(env *sim.Env, e *engine) {
+	//cdivet:shard(corpus.omp)
+	env.NewShard().SpawnAt(1, "omp0", func(p *sim.Proc) {
+		e.queue = nil // want
+	})
+}
+
+// inherited: a proc re-spawning onto its own shard keeps its affinity.
+func inherited(e *engine) {
+	e.shard.Spawn("parent", func(p *sim.Proc) {
+		p.Shard().Spawn("child", func(cp *sim.Proc) {
+			e.queue = append(e.queue, 4)
+		})
+	})
+}
+
+// unknownShard: a shard arriving as a parameter has no domain, so writes
+// from its procs are flagged as unknown-affinity.
+func unknownShard(sh *sim.Shard, e *engine) {
+	sh.Spawn("drifter", func(p *sim.Proc) {
+		e.depth = 0 // want
+	})
+}
+
+// crossPackage proves affinity crosses package boundaries both ways: the
+// filler runs on the tank's domain, the foreign writer reaches the tank
+// through a cross-package helper call.
+func crossPackage(env *sim.Env, t *state.Tank) {
+	t.Shard.Spawn("filler", t.Fill)
+	env.Spawn("foreign", func(p *sim.Proc) {
+		t.Drain()
+	})
+}
+
+// trailingScope: a directive trailing code annotates only its own line.
+// The env.Spawn directly beneath it still runs on the default domain, so
+// its write is cross-shard even though the directive sits one line above.
+func trailingScope(env *sim.Env, e *engine) {
+	shard := env.NewShard() //cdivet:shard(corpus.engine)
+	env.Spawn("stray", func(p *sim.Proc) {
+		e.depth++ // want
+	})
+	shard.Spawn("owner", func(p *sim.Proc) {
+		e.queue = append(e.queue, 5)
+	})
+}

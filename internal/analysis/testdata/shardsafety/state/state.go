@@ -1,0 +1,23 @@
+// Package state is the cross-package half of the shardsafety corpus: its
+// annotated state is written from procs spawned in the corpus root.
+package state
+
+import sim "repro/internal/corpus/internal/sim"
+
+// Tank owns a level on its own domain.
+type Tank struct {
+	//cdivet:shard(corpus.tank)
+	Shard *sim.Shard
+	//cdivet:shard(corpus.tank)
+	Level int
+}
+
+// Fill runs on the owning domain when spawned through Tank.Shard: clean.
+func (t *Tank) Fill(p *sim.Proc) {
+	t.Level++
+}
+
+// Drain is the helper a foreign-domain proc calls cross-package.
+func (t *Tank) Drain() {
+	t.Level-- // want
+}

@@ -1,0 +1,61 @@
+// Package sim is a corpus stand-in exposing the shard and signal surface
+// the waitgraph rule reasons about. The package itself is exempt — it
+// implements the machinery.
+package sim
+
+// Duration is a span of virtual time.
+type Duration float64
+
+// Env is a minimal event environment.
+type Env struct{}
+
+// NewEnv builds an environment.
+func NewEnv() *Env { return &Env{} }
+
+// NewShard opens a new event domain.
+func (e *Env) NewShard() *Shard { return &Shard{} }
+
+// Spawn starts fn on the default domain.
+func (e *Env) Spawn(name string, fn func(p *Proc)) {}
+
+// SpawnAt starts fn on the default domain after delay.
+func (e *Env) SpawnAt(delay Duration, name string, fn func(p *Proc)) {}
+
+// Shard is a spawn-time domain key.
+type Shard struct{}
+
+// Spawn starts fn on the shard's domain.
+func (s *Shard) Spawn(name string, fn func(p *Proc)) {}
+
+// SpawnAt starts fn on the shard's domain after delay.
+func (s *Shard) SpawnAt(delay Duration, name string, fn func(p *Proc)) {}
+
+// Proc is a process handle.
+type Proc struct{}
+
+// Shard returns the domain the process runs on.
+func (p *Proc) Shard() *Shard { return &Shard{} }
+
+// Sleep parks the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {}
+
+// Signal is a broadcast primitive.
+type Signal struct{ env *Env }
+
+// NewSignal builds a signal bound to e.
+func NewSignal(e *Env) *Signal { return &Signal{env: e} }
+
+// Bind attaches a value-declared signal to its environment.
+func (s *Signal) Bind(e *Env) { s.env = e }
+
+// Wait parks the process until the signal fires.
+func (s *Signal) Wait(p *Proc) {}
+
+// WaitTimeout parks until the signal fires or d elapses.
+func (s *Signal) WaitTimeout(p *Proc, d Duration) bool { return true }
+
+// Fire wakes every waiter.
+func (s *Signal) Fire() {}
+
+// FireOne wakes one waiter.
+func (s *Signal) FireOne() {}

@@ -26,7 +26,7 @@ var WaitLock = &Analyzer{
 }
 
 func runWaitLock(mp *ModulePass) {
-	g := buildCallGraph(mp.Module)
+	g := callGraphFor(mp.Module)
 	g.computeMayWait()
 
 	for _, n := range g.nodes {

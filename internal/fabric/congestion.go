@@ -123,7 +123,7 @@ func CongestionSweepParallel(hosts []int, msgBytes int64, thinkTime sim.Duration
 		// link every transfer, so the event domain is the fabric itself —
 		// per-host shards would rebuild hundreds of queues per sweep point
 		// for traffic that is cross-shard on every event.
-		shard := env.NewShard()
+		shard := env.NewShard() //cdivet:shard(fabric.congestion)
 		for i := 0; i < h; i++ {
 			// Jitter each host's phase and period: perfectly staggered
 			// deterministic senders would never collide, which is not how

@@ -95,18 +95,26 @@ type Counters struct {
 
 // Device is one simulated GPU.
 type Device struct {
-	env   *sim.Env
-	shard *sim.Shard // event domain for the device's stream runners
+	env *sim.Env
+	// shard is the event domain for the device's stream runners.
+	//cdivet:shard(gpu.device)
+	shard *sim.Shard
 	spec  Spec
 	mem   *allocator
 
 	compute *sim.Resource // kernel execution serializes on the device
 	dma     *sim.Resource
 
+	// Execution-history state, written only by the device's own stream
+	// runners (execKernel/execCopy).
+	//cdivet:shard(gpu.device)
 	lastComputeEnd sim.Time
-	lastStream     int
-	everComputed   bool
+	//cdivet:shard(gpu.device)
+	lastStream int
+	//cdivet:shard(gpu.device)
+	everComputed bool
 
+	//cdivet:shard(gpu.device)
 	counters  Counters
 	listeners []Listener
 
@@ -218,7 +226,10 @@ type Op struct {
 	dir     Direction
 	bytes   int64
 	enqueue sim.Time
-	done    bool
+	// done flips exactly once, on the device domain, just before doneSig
+	// fires — host-side Op.Wait re-checks it in the guard loop.
+	//cdivet:shard(gpu.device)
+	done bool
 	// doneSig is this op's private completion signal, embedded so the slab
 	// allocation covers it. A per-op signal (rather than one broadcast
 	// signal shared by every op on the stream) means completing an op wakes
@@ -242,11 +253,19 @@ func (o *Op) Wait(p *sim.Proc) {
 // Stream is an in-order execution queue on a device, the unit of
 // concurrency a host thread submits work through.
 type Stream struct {
-	id      int
-	dev     *Device
-	queue   []*Op
-	head    int // queue[:head] is consumed; the array is reused once drained
-	pending int // queued + executing ops
+	id  int
+	dev *Device
+	// The queue triple is owned by the device domain; the host-side enqueue
+	// path appends under the mutate-then-fire handoff (arrive.Fire below the
+	// writes), recorded as explicit suppressions there.
+	//cdivet:shard(gpu.device)
+	queue []*Op
+	// head: queue[:head] is consumed; the array is reused once drained.
+	//cdivet:shard(gpu.device)
+	head int
+	// pending counts queued + executing ops.
+	//cdivet:shard(gpu.device)
+	pending int
 	arrive  *sim.Signal
 	drained *sim.Signal
 	closed  bool
@@ -285,7 +304,9 @@ func (s *Stream) enqueue(o *Op) *Op {
 	}
 	o.enqueue = s.dev.env.Now()
 	o.doneSig.Bind(s.dev.env)
+	//cdivet:allow shardsafety cross-shard handoff: the write is published to the owning domain by the Signal fire below
 	s.queue = append(s.queue, o)
+	//cdivet:allow shardsafety cross-shard handoff: the write is published to the owning domain by the Signal fire below
 	s.pending++
 	s.dev.allIdle.Add(1)
 	s.arrive.Fire()

@@ -63,18 +63,32 @@ type message struct {
 }
 
 // World is a communicator: a fixed set of ranks over one environment.
+//
+// The shard annotations use one domain name for every rank: affinity is
+// tracked at the domain-name level, so rank-to-rank traffic (a send into
+// another rank's inbox) is in-domain by construction — the invariant the
+// annotations encode is "only rank procs touch communicator state", not
+// "only rank i touches rank i's inbox".
 type World struct {
-	env   *sim.Env
-	size  int
-	cost  CostModel
-	inbox  [][]*message // per destination rank
-	avail  []*sim.Signal
-	shards []*sim.Shard // one event domain per rank
+	env  *sim.Env
+	size int
+	cost CostModel
+	// inbox holds in-flight messages per destination rank.
+	//cdivet:shard(mpi.rank)
+	inbox [][]*message
+	avail []*sim.Signal
+	// shards is the binder: one event domain per rank.
+	//cdivet:shard(mpi.rank)
+	shards []*sim.Shard
 
-	collSeq  []int
-	colls    map[int]*collective
+	//cdivet:shard(mpi.rank)
+	collSeq []int
+	//cdivet:shard(mpi.rank)
+	colls map[int]*collective
+	//cdivet:shard(mpi.rank)
 	bytesP2P int64
-	msgsP2P  int64
+	//cdivet:shard(mpi.rank)
+	msgsP2P int64
 }
 
 // collective is the rendezvous state for one collective call site.

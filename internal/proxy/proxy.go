@@ -229,6 +229,7 @@ func Run(cfg Config) (Result, error) {
 		offset := sim.Duration(t) * cfg.ThreadOffset
 		// One shard per OpenMP thread: each thread's sleep/wake traffic
 		// stays in its own queue instead of all threads contending on one.
+		//cdivet:shard(proxy.omp)
 		env.NewShard().SpawnAt(offset, "omp"+strconv.Itoa(t), func(p *sim.Proc) {
 			if err := threadLoop(p, ctx, kernel, matBytes, res.Iters, cfg.IterSpacing); err != nil {
 				runErrs = append(runErrs, err)

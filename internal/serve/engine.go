@@ -116,9 +116,15 @@ type Engine struct {
 	cfg   Config
 	total int
 
-	queue     []*pending
-	qhead     int // queue[:qhead] is served; the array is reused once drained
-	more      *sim.Signal
+	// The admission queue and completion count live on the engine's own
+	// event domain: only the arrivals and batcher procs touch them.
+	//cdivet:shard(serve.engine)
+	queue []*pending
+	// qhead: queue[:qhead] is served; the array is reused once drained.
+	//cdivet:shard(serve.engine)
+	qhead int
+	more  *sim.Signal
+	//cdivet:shard(serve.engine)
 	completed int
 
 	// ks and batchBuf are per-step scratch reused across iterations, and
@@ -164,7 +170,7 @@ func Start(env *sim.Env, tr Transport, cfg Config, reqs []Request) (*Engine, err
 	e.m.Requests = len(reqs)
 	// The engine is one event domain: the arrival clock and the batcher
 	// share a shard, separate from the device shards the transport uses.
-	shard := env.NewShard()
+	shard := env.NewShard() //cdivet:shard(serve.engine)
 	shard.Spawn("serve-arrivals", func(p *sim.Proc) { e.arrivals(p, reqs) })
 	shard.Spawn("serve-batcher", e.batcher)
 	return e, nil

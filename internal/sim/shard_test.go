@@ -133,3 +133,42 @@ func TestRunUntilHorizonWithinWheelBucket(t *testing.T) {
 		t.Errorf("late woke at %v, want %v", wokeLate, want)
 	}
 }
+
+// Blocked must report exactly the signal-parked processes — sorted, and
+// regardless of which shard each lives on — while sleepers in either timer
+// tier (wheel window or far heap) have pending wake-ups and so never count
+// as blocked.
+func TestBlockedAcrossShards(t *testing.T) {
+	env := NewEnv()
+	defer env.Close()
+	sA, sB := env.NewShard(), env.NewShard()
+	sig := NewSignal(env)
+	env.Spawn("wait-default", func(p *Proc) { sig.Wait(p) })
+	sA.Spawn("wait-a", func(p *Proc) { sig.Wait(p) })
+	sB.Spawn("wait-b", func(p *Proc) { sig.Wait(p) })
+	// One sleeper inside the wheel window, one past it in the far heap.
+	sA.Spawn("sleep-near", func(p *Proc) { p.Sleep(50 * Microsecond) })
+	sB.Spawn("sleep-far", func(p *Proc) { p.Sleep(5 * Millisecond) })
+
+	env.RunUntil(Time(0).Add(10 * Microsecond))
+	got := env.Blocked()
+	want := []string{"wait-a", "wait-b", "wait-default"}
+	if len(got) != len(want) {
+		t.Fatalf("Blocked() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Blocked() = %v, want %v (sorted)", got, want)
+		}
+	}
+
+	// Once the signal fires the waiters drain and nothing is blocked.
+	env.Spawn("firer", func(p *Proc) { sig.Fire() })
+	env.Run()
+	if got := env.Blocked(); len(got) != 0 {
+		t.Fatalf("Blocked() after drain = %v, want empty", got)
+	}
+	if env.Live() != 0 {
+		t.Fatalf("Live() after drain = %d, want 0", env.Live())
+	}
+}

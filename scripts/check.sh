@@ -38,6 +38,14 @@ fi
 [ -s "$serving_trace" ] || { echo "serving trace file is empty" >&2; exit 1; }
 rm -f "$serving_trace"
 
+# Coverage-guided fuzz smoke of the sharded merge-order invariant. The
+# recorded seeds always run as part of `go test` above; the search itself
+# is opt-in locally (CI always runs its own 10s pass).
+if [ "${CDI_FUZZ:-0}" = "1" ]; then
+  echo "== fuzz smoke (FuzzShardedMergeOrder, 10s)"
+  go test ./internal/sim -run xxx -fuzz FuzzShardedMergeOrder -fuzztime=10s
+fi
+
 echo "== bench.sh --smoke"
 scripts/bench.sh --smoke
 
