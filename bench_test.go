@@ -17,6 +17,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/gpu"
+	"repro/internal/health"
 	"repro/internal/lammps"
 	"repro/internal/mpi"
 	"repro/internal/proxy"
@@ -545,6 +546,85 @@ func BenchmarkServeSteadyState(b *testing.B) {
 		}
 		if eng.Completed() != len(reqs) {
 			b.Fatalf("completed %d of %d requests", eng.Completed(), len(reqs))
+		}
+	}
+}
+
+// BenchmarkHealthDetector measures the phi-accrual detector's per-sample
+// cost — one heartbeat Observe plus one Phi evaluation per op, the inner
+// loop of the pool control plane. Both must stay alloc-free: every
+// server in the pool pays this once per heartbeat interval.
+func BenchmarkHealthDetector(b *testing.B) {
+	det := health.NewDetector(16, 250*sim.Microsecond)
+	now := sim.Time(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(250 * sim.Microsecond)
+		det.Observe(now)
+		if det.Phi(now.Add(100*sim.Microsecond)) < 0 {
+			b.Fatal("negative phi")
+		}
+	}
+}
+
+// BenchmarkChurnSteadyState runs one managed churn cell end to end: the
+// continuous batcher over a resilient three-server pool under recurring
+// crash outages, with the health control plane draining and readmitting
+// servers and the admission gate shedding while degraded. This is the
+// control plane's full-system hot path.
+func BenchmarkChurnSteadyState(b *testing.B) {
+	tenants := []serve.Tenant{
+		{Name: "chat", Rate: 100, MeanPromptTokens: 32, MeanOutputTokens: 8,
+			SLO: 25 * sim.Millisecond},
+		{Name: "batchapi", Rate: 60, MeanPromptTokens: 64, MeanOutputTokens: 12,
+			SLO: 200 * sim.Millisecond, Priority: 1},
+	}
+	const window = 200 * sim.Millisecond
+	reqs, err := serve.Generate(tenants, window, 41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := fabric.PathForSlack(100 * sim.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		pool, err := remoting.NewResilient(env, gpu.A100(), remoting.ResilientConfig{
+			Config: remoting.Config{Path: path, Seed: 7003},
+			Faults: faults.Config{Seed: 7003,
+				CrashAfter: 60 * sim.Millisecond, CrashFor: 40 * sim.Millisecond},
+			Policy: faults.Policy{CallTimeout: 100 * sim.Millisecond, MaxRetries: 2,
+				BreakerThreshold: 2, BreakerCooldown: 5 * sim.Millisecond},
+			Standbys:             2,
+			DisableLocalFallback: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctl, err := health.Start(env, pool, pool.Injector(),
+			health.Config{Seed: 7003, Horizon: 2 * window, Path: path})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := serve.Start(env, serve.NewRemote(pool), serve.Config{
+			Policy:  serve.Continuous,
+			Tenants: tenants,
+			Admission: serve.Admission{
+				ShedExpired: true, MaxQueue: 64, Capacity: ctl,
+			},
+		}, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.Run()
+		env.Close()
+		if err := eng.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if ctl.Stats().Suspicions == 0 {
+			b.Fatal("churn path not exercised: no suspicions")
 		}
 	}
 }

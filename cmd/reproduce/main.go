@@ -9,7 +9,7 @@
 //
 // Paper experiments: table1 figure2 threads cfcpu table2 figure3 figure4
 // figure5 table3 table4 validate compose.
-// Extensions: appvalidate congestion remoting resilience weak reach throughput coupling preload scales serving.
+// Extensions: appvalidate congestion remoting resilience weak reach throughput coupling preload scales serving churn.
 // "all" runs everything.
 package main
 
@@ -32,13 +32,15 @@ var experimentIDs = []string{
 	"figure4", "figure5", "table3", "table4", "validate", "compose",
 	"appvalidate", "scales", "preload", "congestion", "remoting",
 	"resilience", "weak", "coupling", "throughput", "reach", "serving",
+	"churn",
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (or comma list)")
 	paper := flag.Bool("paper", false, "paper-faithful parameters (slow: full 5000-step runs, 30s proxy loops)")
 	jobs := flag.Int("j", 0, "worker pool size for sweeps (0 = GOMAXPROCS, 1 = serial); output is byte-identical for every value")
-	traceOut := flag.String("trace", "", "write a Chrome trace of one serving window to this file (requires -exp serving)")
+	traceOut := flag.String("trace", "", "write a Chrome trace of one serving (or churn) window to this file (requires -exp serving or churn)")
+	faultLog := flag.Bool("faultlog", false, "dump the deterministic outage schedule the churn experiment draws (requires -exp churn)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -88,8 +90,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "valid ids: all, %s\n", strings.Join(experimentIDs, ", "))
 		os.Exit(2)
 	}
-	if *traceOut != "" && !(want["all"] || want["serving"]) {
-		fmt.Fprintf(os.Stderr, "-trace requires -exp serving\n")
+	if *traceOut != "" && !(want["all"] || want["serving"] || want["churn"]) {
+		fmt.Fprintf(os.Stderr, "-trace requires -exp serving or -exp churn\n")
+		os.Exit(2)
+	}
+	if *faultLog && !(want["all"] || want["churn"]) {
+		fmt.Fprintf(os.Stderr, "-faultlog requires -exp churn\n")
 		os.Exit(2)
 	}
 	all := want["all"]
@@ -227,6 +233,27 @@ func main() {
 			check(experiments.WriteServingTrace(opts, f))
 			check(f.Close())
 			fmt.Printf("wrote serving trace to %s\n", *traceOut)
+		}
+	}
+	if section("churn") {
+		rows, err := experiments.Churn(opts)
+		check(err)
+		fmt.Print(experiments.RenderChurn(rows))
+		if *faultLog {
+			fmt.Print(experiments.ChurnFaultLog(opts))
+		}
+		if *traceOut != "" {
+			// When the serving section already claimed the path, the churn
+			// trace goes alongside it.
+			out := *traceOut
+			if all || want["serving"] {
+				out += ".churn"
+			}
+			f, err := os.Create(out)
+			check(err)
+			check(experiments.WriteChurnTrace(opts, f))
+			check(f.Close())
+			fmt.Printf("wrote churn trace to %s\n", out)
 		}
 	}
 

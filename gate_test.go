@@ -121,3 +121,30 @@ func TestBenchGateToleranceAndSkips(t *testing.T) {
 		t.Errorf("gate exit = %d with skip disabled, want 1 and an allocs/op flag:\n%s", code, out)
 	}
 }
+
+func TestBenchGateWaiver(t *testing.T) {
+	dir := t.TempDir()
+	old := benchJSON(t, dir, "old.json", []string{
+		`{"name": "BenchmarkStep", "ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 100}`,
+	})
+	// A deliberate step: both axes regress well past tolerance.
+	now := benchJSON(t, dir, "new.json", []string{
+		`{"name": "BenchmarkStep", "ns_per_op": 2000, "bytes_per_op": 64, "allocs_per_op": 300}`,
+	})
+
+	// Waiver pinned to this benchmark and this recording: reported, not fatal.
+	out, code := runGate(t, []string{`GATE_WAIVE=^BenchmarkStep@new\.json$`}, now, old)
+	if code != 0 {
+		t.Fatalf("gate exit = %d with matching waiver, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "waived(GATE_WAIVE)") || !strings.Contains(out, "REGRESSION(ns/op,allocs/op)") {
+		t.Errorf("waived step not reported as an acknowledged regression:\n%s", out)
+	}
+
+	// Self-expiry: the same waiver pinned to a recording that is no longer
+	// the gate's NEW side must not suppress anything.
+	out, code = runGate(t, []string{`GATE_WAIVE=^BenchmarkStep@older\.json$`}, now, old)
+	if code != 1 || !strings.Contains(out, "REGRESSION(ns/op,allocs/op)") {
+		t.Errorf("gate exit = %d with expired waiver, want 1 and a flag:\n%s", code, out)
+	}
+}

@@ -73,10 +73,16 @@ type Config struct {
 	StallEvery sim.Duration
 	StallFor   sim.Duration
 
-	// CrashAfter is the mean time until a GPU server crashes permanently
-	// (exponential, drawn once per server); zero means servers never
-	// crash. A crashed server stops responding forever.
+	// CrashAfter is the mean time until a GPU server crashes
+	// (exponential); zero means servers never crash. With CrashFor zero
+	// the crash is permanent: drawn once per server, the server stops
+	// responding forever. With CrashFor positive, crashes become a
+	// recurring churn process instead: outage windows of length CrashFor
+	// separated by exponential gaps of mean CrashAfter, during which the
+	// server is down but after which it comes back blank (rebooted) —
+	// the GPU churn regime the pool control plane exists for.
 	CrashAfter sim.Duration
+	CrashFor   sim.Duration
 
 	// DegradeEvery is the mean interval between degraded-bandwidth
 	// periods on the path (congestion, retransmit storms); zero disables
@@ -93,8 +99,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("faults: drop probability %g outside [0, 1)", c.DropProbability)
 	}
 	if c.FlapEvery < 0 || c.FlapOutage < 0 || c.StallEvery < 0 || c.StallFor < 0 ||
-		c.CrashAfter < 0 || c.DegradeEvery < 0 || c.DegradeFor < 0 {
+		c.CrashAfter < 0 || c.CrashFor < 0 || c.DegradeEvery < 0 || c.DegradeFor < 0 {
 		return fmt.Errorf("faults: negative interval in %+v", c)
+	}
+	if c.CrashFor > 0 && c.CrashAfter == 0 {
+		return fmt.Errorf("faults: crash churn enabled with no crash rate")
 	}
 	if c.FlapEvery > 0 && c.FlapOutage == 0 {
 		return fmt.Errorf("faults: flaps enabled with zero outage duration")
@@ -244,6 +253,7 @@ type Server struct {
 	stalls  *windows
 	crashes bool
 	crashAt sim.Time
+	churn   *windows // non-nil when CrashFor > 0: recurring crash outages
 	c       *Counters
 }
 
@@ -257,9 +267,13 @@ func (in *Injector) Server(id int) *Server {
 			c:      &in.c,
 		}
 		if in.cfg.CrashAfter > 0 {
-			r := Substream(in.cfg.Seed, saltCrash+i)
-			s.crashes = true
-			s.crashAt = sim.Time(0).Add(sim.Duration(r.ExpFloat64() * float64(in.cfg.CrashAfter)))
+			if in.cfg.CrashFor > 0 {
+				s.churn = newWindows(Substream(in.cfg.Seed, saltCrash+i), in.cfg.CrashAfter, in.cfg.CrashFor)
+			} else {
+				r := Substream(in.cfg.Seed, saltCrash+i)
+				s.crashes = true
+				s.crashAt = sim.Time(0).Add(sim.Duration(r.ExpFloat64() * float64(in.cfg.CrashAfter)))
+			}
 		}
 		in.servers = append(in.servers, s)
 	}
@@ -267,10 +281,16 @@ func (in *Injector) Server(id int) *Server {
 }
 
 // StateAt returns the server's state at t; for Stalled it also returns
-// when the stall ends.
+// when the stall ends, and for a churn (recurring) crash when the outage
+// ends. A permanent crash returns zero: it never ends.
 func (s *Server) StateAt(t sim.Time) (ServerState, sim.Time) {
 	if s.crashes && t >= s.crashAt {
 		return Crashed, 0
+	}
+	if s.churn != nil {
+		if down, until := s.churn.at(t); down {
+			return Crashed, until
+		}
 	}
 	if down, until := s.stalls.at(t); down {
 		s.c.StallHits++
@@ -279,6 +299,26 @@ func (s *Server) StateAt(t sim.Time) (ServerState, sim.Time) {
 	return Healthy, 0
 }
 
-// CrashTime returns the server's crash instant and whether it ever
-// crashes.
+// OutageAt reports whether the server is inside a crash outage at t and,
+// if so, the outage's start (for permanent crashes the start is the crash
+// instant and the end is zero: the outage never ends). Experiments use
+// it to score detection latency — how long after an outage began the
+// control plane noticed — without the detector ever peeking at the
+// schedule. Like every schedule query it must be called at non-decreasing
+// times.
+func (s *Server) OutageAt(t sim.Time) (start, end sim.Time, down bool) {
+	if s.crashes && t >= s.crashAt {
+		return s.crashAt, 0, true
+	}
+	if s.churn != nil {
+		if sp, ok := s.churn.window(t); ok {
+			return sp.start, sp.end, true
+		}
+	}
+	return 0, 0, false
+}
+
+// CrashTime returns the server's permanent-crash instant and whether it
+// ever crashes permanently (false when crashes are the recurring CrashFor
+// churn kind).
 func (s *Server) CrashTime() (sim.Time, bool) { return s.crashAt, s.crashes }

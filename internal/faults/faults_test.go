@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/cuda"
@@ -226,5 +227,124 @@ func TestPolicyBackoffGrowsAndJitters(t *testing.T) {
 	}
 	if p.Backoff(1, j1) == p.Backoff(1, nil) {
 		t.Error("jitter had no effect")
+	}
+}
+
+func TestCrashChurnWindows(t *testing.T) {
+	if err := (Config{CrashFor: sim.Millisecond}).Validate(); err == nil {
+		t.Error("CrashFor without CrashAfter accepted")
+	}
+	cfg := Config{Seed: 11, CrashAfter: 20 * sim.Millisecond, CrashFor: 2 * sim.Millisecond}
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := in.Server(0)
+	if _, ok := srv.CrashTime(); ok {
+		t.Error("churn crashes report a permanent crash time")
+	}
+	// Replay the schedule: churn crashes must recur (down then up again)
+	// and OutageAt must bracket every down probe.
+	probe, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv := probe.Server(0)
+	var at sim.Time
+	transitions, downs := 0, 0
+	wasDown := false
+	for i := 0; i < 20000; i++ {
+		at = at.Add(53 * sim.Microsecond)
+		state, until := srv.StateAt(at)
+		start, end, down := psrv.OutageAt(at)
+		if (state == Crashed) != down {
+			t.Fatalf("at %v: StateAt=%v but OutageAt down=%v", at, state, down)
+		}
+		if down {
+			downs++
+			if at < start || at >= end || end != until {
+				t.Fatalf("at %v: outage [%v,%v) does not bracket probe (until %v)", at, start, end, until)
+			}
+			if d := end.Sub(start) - cfg.CrashFor; d > sim.Nanosecond || d < -sim.Nanosecond {
+				t.Fatalf("outage length %v != CrashFor %v", end.Sub(start), cfg.CrashFor)
+			}
+		}
+		if down != wasDown {
+			transitions++
+			wasDown = down
+		}
+	}
+	if transitions < 4 {
+		t.Fatalf("churn crashes did not recur: %d transitions, %d down probes", transitions, downs)
+	}
+}
+
+func TestPermanentCrashOutageAt(t *testing.T) {
+	cfg := Config{Seed: 5, CrashAfter: 10 * sim.Millisecond}
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := in.Server(0)
+	crashAt, ok := srv.CrashTime()
+	if !ok {
+		t.Fatal("no crash drawn")
+	}
+	if _, _, down := srv.OutageAt(crashAt.Add(-sim.Microsecond)); down {
+		t.Error("down before the crash instant")
+	}
+	start, end, down := srv.OutageAt(crashAt.Add(sim.Microsecond))
+	if !down || start != crashAt || end != 0 {
+		t.Errorf("permanent outage = (%v, %v, %v); want (%v, 0, true)", start, end, down, crashAt)
+	}
+}
+
+func TestDescribeMatchesInjector(t *testing.T) {
+	cfg := Config{
+		Seed:            21,
+		DropProbability: 0.1,
+		FlapEvery:       8 * sim.Millisecond, FlapOutage: 300 * sim.Microsecond,
+		StallEvery: 6 * sim.Millisecond, StallFor: 200 * sim.Microsecond,
+		CrashAfter: 15 * sim.Millisecond, CrashFor: 2 * sim.Millisecond,
+		DegradeEvery: 10 * sim.Millisecond, DegradeFor: 400 * sim.Microsecond,
+		DegradeFactor: 0.5,
+	}
+	horizon := 50 * sim.Millisecond
+	out := cfg.Describe(2, horizon)
+	for _, want := range []string{"drop", "link flaps", "degraded bandwidth", "server 0", "server 1", "crash outages"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+	if out != cfg.Describe(2, horizon) {
+		t.Error("Describe is not deterministic")
+	}
+	// Describing must not perturb a live injector: a fresh injector probed
+	// after Describe agrees with one probed without it.
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cfg.Describe(2, horizon)
+	ref, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at sim.Time
+	for i := 0; i < 3000; i++ {
+		at = at.Add(71 * sim.Microsecond)
+		d1, u1 := in.LinkDown(at)
+		d2, u2 := ref.LinkDown(at)
+		if d1 != d2 || u1 != u2 {
+			t.Fatalf("at %v: described injector diverged", at)
+		}
+	}
+	// Permanent-crash rendering names the crash instant.
+	perm := Config{Seed: 4, CrashAfter: sim.Millisecond}
+	if !strings.Contains(perm.Describe(1, sim.Second), "permanent") {
+		t.Error("permanent crash not described")
+	}
+	if !strings.Contains((Config{}).Describe(1, sim.Second), "fault-free") {
+		t.Error("fault-free schedule not described")
 	}
 }

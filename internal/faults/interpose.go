@@ -30,8 +30,17 @@ type Policy struct {
 	// seeded stream, de-synchronizing retry storms deterministically.
 	JitterFrac float64
 	// BreakerThreshold trips the circuit breaker after this many
-	// consecutive timeouts, skipping straight to failover.
+	// consecutive timeouts.
 	BreakerThreshold int
+	// BreakerCooldown is how long a tripped (open) breaker waits before
+	// letting one half-open probe attempt through. A probe that succeeds
+	// closes the breaker on the same server — transient fault windows that
+	// end during the cooldown cost no failover — while a probe that fails
+	// re-opens it and forces failover. Zero takes the default
+	// (4 × CallTimeout); negative means probe immediately with no pause.
+	// The application-level CallInjector ignores it and keeps the
+	// trip-straight-to-failover discipline.
+	BreakerCooldown sim.Duration
 	// FailoverPenalty is the control-plane cost of re-attaching to a
 	// standby (or degrading to node-local execution): discovery,
 	// handshake, context re-creation. State re-upload is charged
@@ -61,10 +70,13 @@ func (p Policy) WithDefaults() Policy {
 	if p.BreakerThreshold == 0 {
 		p.BreakerThreshold = 4
 	}
+	if p.BreakerCooldown == 0 {
+		p.BreakerCooldown = 4 * p.CallTimeout
+	}
 	if p.FailoverPenalty == 0 {
 		p.FailoverPenalty = 5 * sim.Millisecond
 	}
-	for _, d := range []*sim.Duration{&p.CallTimeout, &p.BackoffBase, &p.FailoverPenalty} {
+	for _, d := range []*sim.Duration{&p.CallTimeout, &p.BackoffBase, &p.FailoverPenalty, &p.BreakerCooldown} {
 		if *d < 0 {
 			*d = 0
 		}

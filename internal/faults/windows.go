@@ -47,3 +47,11 @@ func (w *windows) at(t sim.Time) (bool, sim.Time) {
 	}
 	return false, 0
 }
+
+// window returns the full span containing t, if t is inside a window.
+func (w *windows) window(t sim.Time) (span, bool) {
+	if ok, _ := w.at(t); !ok {
+		return span{}, false
+	}
+	return w.cur, true
+}

@@ -16,6 +16,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/gpu"
@@ -42,9 +43,18 @@ func NoSlackTime(measured sim.Duration, calls int64, perCall sim.Duration) sim.D
 // availability cost a real deployment would pay, so they stay inside the
 // reported penalty. At zero fault intensity the extra terms vanish and the
 // result reduces to the paper's fault-free Equation-1 penalty exactly.
+//
+// The result is in [0, +Inf]: 0 means the corrected runtime was at or
+// below the baseline (the penalty is clamped, never negative), 1 means
+// the run took twice the baseline, and a full outage — a run that never
+// finished, reported as an effectively unbounded measured time — drives
+// it arbitrarily large. A non-positive baseline (zero availability: no
+// fault-free run ever completed to calibrate against) yields +Inf rather
+// than a divide-by-zero or a panic, so sweep code can aggregate the cell
+// instead of crashing.
 func AvailabilityAdjustedPenalty(measured sim.Duration, calls int64, perCall sim.Duration, baseline sim.Duration) float64 {
 	if baseline <= 0 {
-		panic("model: non-positive baseline runtime")
+		return math.Inf(1)
 	}
 	corrected := NoSlackTime(measured, calls, perCall)
 	penalty := float64(corrected)/float64(baseline) - 1

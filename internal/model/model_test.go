@@ -305,3 +305,42 @@ func TestMatrixBytesThresholdsMatchGPUPackage(t *testing.T) {
 		t.Error("32768 matrix not 4 GiB")
 	}
 }
+
+func TestAvailabilityAdjustedPenalty(t *testing.T) {
+	const base = 10 * sim.Second
+	cases := []struct {
+		name     string
+		measured sim.Duration
+		calls    int64
+		perCall  sim.Duration
+		baseline sim.Duration
+		want     float64
+	}{
+		{"fault-free reduces to Equation 1", 12 * sim.Second, 1000, 2 * sim.Millisecond, base, 0},
+		{"availability cost stays inside", 15 * sim.Second, 0, 0, base, 0.5},
+		{"slack removed before the ratio", 16 * sim.Second, 2000, sim.Millisecond, base, 0.4},
+		{"clamped at zero", 9 * sim.Second, 0, 0, base, 0},
+		{"full outage dwarfs the baseline", 1000 * base, 0, 0, base, 999},
+		{"zero availability: no baseline", 12 * sim.Second, 0, 0, 0, math.Inf(1)},
+		{"negative baseline guards too", 12 * sim.Second, 0, 0, -base, math.Inf(1)},
+	}
+	for _, c := range cases {
+		got := AvailabilityAdjustedPenalty(c.measured, c.calls, c.perCall, c.baseline)
+		if math.IsInf(c.want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Errorf("%s: got %g, want +Inf", c.name, got)
+			}
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: got %g, want %g", c.name, got, c.want)
+		}
+	}
+	// The range contract: never negative, never NaN.
+	for _, m := range []sim.Duration{0, base, 100 * base} {
+		p := AvailabilityAdjustedPenalty(m, 0, 0, base)
+		if p < 0 || math.IsNaN(p) {
+			t.Errorf("penalty(%v) = %g outside [0, +Inf]", m, p)
+		}
+	}
+}

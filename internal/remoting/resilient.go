@@ -43,11 +43,23 @@ type ResilientConfig struct {
 type Stats struct {
 	// Calls counts logical API calls issued through the transport.
 	Calls int64
-	// Retries, Timeouts, Failovers and BreakerTrips count policy actions.
+	// Retries, Timeouts, Failovers and BreakerTrips count policy actions;
+	// a trip opens the breaker but no longer implies a failover (see the
+	// half-open counters below).
 	Retries      int64
 	Timeouts     int64
 	Failovers    int64
 	BreakerTrips int64
+	// HalfOpenProbes counts the single attempts let through after a
+	// breaker cooldown; HalfOpenRecoveries counts probes that succeeded
+	// and closed the breaker on the same server (no failover paid).
+	HalfOpenProbes     int64
+	HalfOpenRecoveries int64
+	// Migrations counts policy-triggered drains that moved the handle
+	// table to a peer (crash-triggered failovers count under Failovers);
+	// Readmissions counts drained or dead servers returned to duty.
+	Migrations   int64
+	Readmissions int64
 	// ReuploadBytes is the device state replayed onto a new server (or the
 	// local device) as DMA transfers during failover.
 	ReuploadBytes int64
@@ -73,6 +85,9 @@ type endpoint struct {
 	// phys maps the transport's virtual handles to this server's pointers.
 	phys map[gpu.Ptr]gpu.Ptr
 	dead bool
+	// drained marks a server taken out of rotation by policy (the pool
+	// control plane's Drain); unlike dead it is reversible via Readmit.
+	drained bool
 }
 
 // Resilient is a fault-tolerant remoting transport: per-call deadlines on
@@ -86,10 +101,11 @@ type endpoint struct {
 // Memory handles returned by Malloc are virtual: they survive failover,
 // being re-bound to the new server's allocations during state re-upload.
 type Resilient struct {
-	env *sim.Env
-	cfg ResilientConfig
-	pol faults.Policy
-	inj *faults.Injector
+	env  *sim.Env
+	cfg  ResilientConfig
+	pol  faults.Policy
+	inj  *faults.Injector
+	spec gpu.Spec // endpoint device spec, kept so Readmit can rebuild one
 
 	eps    []*endpoint // 0 = primary, 1.. = standbys
 	active int
@@ -134,6 +150,7 @@ func NewResilient(env *sim.Env, spec gpu.Spec, cfg ResilientConfig) (*Resilient,
 		cfg:    cfg,
 		pol:    cfg.Policy.WithDefaults(),
 		inj:    inj,
+		spec:   spec,
 		noise:  faults.Substream(cfg.Seed, saltNoise),
 		jitter: faults.Substream(cfg.Seed, saltRetryJitter),
 		sizes:  map[gpu.Ptr]int64{},
@@ -176,6 +193,20 @@ func (r *Resilient) Degraded() bool { return r.degraded }
 // calls (meaningless once Degraded).
 func (r *Resilient) ActiveServer() int { return r.active }
 
+// Servers returns how many GPU servers the transport was provisioned
+// with (primary plus standbys).
+func (r *Resilient) Servers() int { return len(r.eps) }
+
+// Live reports whether server i is currently in rotation (neither dead
+// nor drained).
+func (r *Resilient) Live(i int) bool {
+	return i >= 0 && i < len(r.eps) && !r.eps[i].dead && !r.eps[i].drained
+}
+
+// Injector exposes the transport's fault injector, so a control plane
+// monitoring the same pool consults the identical schedule.
+func (r *Resilient) Injector() *faults.Injector { return r.inj }
+
 // transfer returns one network crossing's duration for n payload bytes,
 // applying the degraded-bandwidth factor to the serialization term and
 // the seeded noise multiplier to the whole crossing.
@@ -203,7 +234,7 @@ func (r *Resilient) deadline(reqBytes, respBytes int64) sim.Duration {
 
 // callSpec describes one API call to the retry machinery.
 type callSpec struct {
-	name               string
+	name                string
 	reqBytes, respBytes int64
 	// dedup marks calls that must not execute twice (malloc/free): a
 	// retry replays the recorded result instead of re-running exec.
@@ -234,10 +265,24 @@ func (r *Resilient) call(p *sim.Proc, cs callSpec) (execResult, error) {
 		r.stats.Timeouts++
 		r.consecTimeouts++
 		tripped := r.pol.BreakerThreshold > 0 && r.consecTimeouts >= r.pol.BreakerThreshold
-		if tripped || retries >= r.pol.MaxRetries {
-			if tripped {
-				r.stats.BreakerTrips++
+		if tripped {
+			// Breaker open: cool down, then let a single half-open probe
+			// through. A success means the fault window ended during the
+			// cooldown — close the breaker on the same server and pay no
+			// failover; a failure re-opens it for good.
+			r.stats.BreakerTrips++
+			r.consecTimeouts = 0
+			if r.pol.BreakerCooldown > 0 {
+				p.Sleep(r.pol.BreakerCooldown)
 			}
+			r.stats.HalfOpenProbes++
+			if res, ok = r.attempt(p, r.eps[r.active], reqID, cs); ok {
+				r.stats.HalfOpenRecoveries++
+				return res, nil
+			}
+			r.stats.Timeouts++
+		}
+		if tripped || retries >= r.pol.MaxRetries {
 			if err := r.failover(p); err != nil {
 				r.exhausted = err
 				return execResult{}, err
@@ -329,13 +374,7 @@ func (r *Resilient) failover(p *sim.Proc) error {
 	cur.dead = true
 	cur.dev.MarkLost()
 
-	next := -1
-	for i := r.active + 1; i < len(r.eps); i++ {
-		if !r.eps[i].dead {
-			next = i
-			break
-		}
-	}
+	next := r.nextLive(r.active)
 	if next >= 0 {
 		r.active = next
 		return r.migrate(p, r.eps[next], true)
@@ -347,6 +386,95 @@ func (r *Resilient) failover(p *sim.Proc) error {
 	r.degraded = true
 	r.stats.Degraded = true
 	return r.migrate(p, r.local, false)
+}
+
+// nextLive returns the index of the next endpoint in rotation after
+// `from` (circular, so a readmitted low-index server is reachable again),
+// or -1 when none is live.
+func (r *Resilient) nextLive(from int) int {
+	n := len(r.eps)
+	for k := 1; k <= n; k++ {
+		i := (from + k) % n
+		if i != from && !r.eps[i].dead && !r.eps[i].drained {
+			return i
+		}
+	}
+	return -1
+}
+
+// Drain takes a server out of rotation by policy rather than crash — the
+// pool control plane's reaction to a suspect heartbeat. If the server is
+// the active executor, its handle table is live-migrated to the next live
+// peer over the same DMA-replay path failover uses; the executor switch
+// happens after the migration completes, so calls issued meanwhile still
+// target the old server (and failover reactively if it is truly gone).
+// Unlike failover the drained server's device is not marked lost: Readmit
+// can return it to duty. Draining a standby only removes it from the
+// failover candidate set; draining the last live server is refused.
+func (r *Resilient) Drain(p *sim.Proc, server int) error {
+	if server < 0 || server >= len(r.eps) {
+		return fmt.Errorf("remoting: drain of unknown server %d", server)
+	}
+	if r.degraded || r.exhausted != nil {
+		return fmt.Errorf("remoting: drain with no remote pool live")
+	}
+	ep := r.eps[server]
+	if ep.dead || ep.drained {
+		return nil
+	}
+	if server != r.active {
+		ep.drained = true
+		return nil
+	}
+	next := r.nextLive(server)
+	if next < 0 {
+		return fmt.Errorf("remoting: no live peer to drain server %d onto", server)
+	}
+	ep.drained = true
+	r.stats.Migrations++
+	if err := r.migrate(p, r.eps[next], true); err != nil {
+		return err
+	}
+	if r.active == server {
+		// The breaker may have failed the caller over on its own while the
+		// migration was in flight; only switch if it has not.
+		r.active = next
+	}
+	return nil
+}
+
+// Readmit returns a previously drained or dead server to standby duty as
+// a blank replacement — a rebooted host or a fresh part swapped into the
+// chassis: a new device and context, an empty handle table, the same
+// fault-schedule identity. The transport's virtual handles keep the host
+// the source of truth, so the next migration onto it re-uploads whatever
+// it needs. Once the transport is exhausted or degraded to node-local,
+// readmission is refused (the run has already failed over for good).
+func (r *Resilient) Readmit(server int) error {
+	if server < 0 || server >= len(r.eps) {
+		return fmt.Errorf("remoting: readmit of unknown server %d", server)
+	}
+	if r.exhausted != nil || r.degraded {
+		return fmt.Errorf("remoting: readmit after the pool was exhausted")
+	}
+	ep := r.eps[server]
+	if !ep.dead && !ep.drained {
+		return nil
+	}
+	if server == r.active {
+		return fmt.Errorf("remoting: server %d is active and cannot be readmitted", server)
+	}
+	dev, err := gpu.NewDevice(r.env, r.spec)
+	if err != nil {
+		return err
+	}
+	ep.dev = dev
+	ep.ctx = cuda.NewContext(dev, cuda.Config{})
+	clear(ep.done)
+	clear(ep.phys)
+	ep.dead, ep.drained = false, false
+	r.stats.Readmissions++
+	return nil
 }
 
 // migrate re-attaches on ep and re-uploads every live allocation as a DMA

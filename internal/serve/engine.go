@@ -70,6 +70,9 @@ type Config struct {
 	Model Model
 	// Tenants is the tenant table requests index into (for SLO lookup).
 	Tenants []Tenant
+	// Admission tunes deadline-aware load shedding under degraded
+	// capacity; the zero value disables it.
+	Admission Admission
 	// RecordSpans collects request and batch spans for Chrome-trace
 	// export (off by default: spans allocate).
 	RecordSpans bool
@@ -103,7 +106,8 @@ const workspaceBytes = 64 << 20
 // pending is one request waiting in, or admitted from, the queue.
 type pending struct {
 	req       Request
-	remaining int // decode steps left
+	remaining int  // decode steps left
+	shed      bool // shed by backpressure while queued; pop discards it
 }
 
 // Engine serves one replica's request stream: an arrival process feeds the
@@ -123,6 +127,10 @@ type Engine struct {
 	// qhead: queue[:qhead] is served; the array is reused once drained.
 	//cdivet:shard(serve.engine)
 	qhead int
+	// depth counts live (unserved, unshed) queued requests; backpressure
+	// marks victims shed in place and pop discards them lazily.
+	//cdivet:shard(serve.engine)
+	depth int
 	more  *sim.Signal
 	//cdivet:shard(serve.engine)
 	completed int
@@ -168,6 +176,9 @@ func Start(env *sim.Env, tr Transport, cfg Config, reqs []Request) (*Engine, err
 		m:     newMetrics(),
 	}
 	e.m.Requests = len(reqs)
+	if cfg.Admission.enabled() {
+		e.m.ShedByTenant = make([]int, len(cfg.Tenants))
+	}
 	// The engine is one event domain: the arrival clock and the batcher
 	// share a shard, separate from the device shards the transport uses.
 	shard := env.NewShard() //cdivet:shard(serve.engine)
@@ -189,14 +200,45 @@ func (e *Engine) Spans() []trace.AppSpan { return e.spans }
 func (e *Engine) Completed() int { return e.completed }
 
 // arrivals delivers the pre-generated schedule into the admission queue.
+// Every arrival fires the signal — even one shed at the door — so the
+// batcher re-checks its completion condition.
 func (e *Engine) arrivals(p *sim.Proc, reqs []Request) {
 	for _, r := range reqs {
 		if d := r.Arrival.Sub(p.Now()); d > 0 {
 			p.Sleep(d)
 		}
-		e.queue = append(e.queue, e.newPending(r))
+		e.enqueue(e.newPending(r))
 		e.more.Fire()
 	}
+}
+
+// enqueue admits one request, applying queue-cap backpressure while the
+// admission gate is armed: a full queue sheds its lowest-priority member
+// (ties: latest arrival), or the incoming request itself when nothing
+// queued ranks below it.
+func (e *Engine) enqueue(pd *pending) {
+	a := e.cfg.Admission
+	if a.MaxQueue > 0 && e.depth >= a.MaxQueue && a.armed() {
+		vi, vp := -1, 0
+		for i := len(e.queue) - 1; i >= e.qhead; i-- {
+			q := e.queue[i]
+			if q.shed {
+				continue
+			}
+			if p := e.cfg.Tenants[q.req.Tenant].Priority; vi == -1 || p > vp {
+				vi, vp = i, p
+			}
+		}
+		if vi == -1 || e.cfg.Tenants[pd.req.Tenant].Priority >= vp {
+			e.m.shed(pd.req.Tenant)
+			return
+		}
+		e.queue[vi].shed = true
+		e.depth--
+		e.m.shed(e.queue[vi].req.Tenant)
+	}
+	e.queue = append(e.queue, pd)
+	e.depth++
 }
 
 // newPending hands out a pending record from the engine's slab.
@@ -211,10 +253,11 @@ func (e *Engine) newPending(r Request) *pending {
 	return pd
 }
 
-// qlen returns the number of unserved queued requests.
-func (e *Engine) qlen() int { return len(e.queue) - e.qhead }
+// qlen returns the number of live (unserved, unshed) queued requests.
+func (e *Engine) qlen() int { return e.depth }
 
-// batcher drains the queue until every request has completed.
+// batcher drains the queue until every request has completed or been
+// shed.
 func (e *Engine) batcher(p *sim.Proc) {
 	in, err := e.tr.Malloc(p, workspaceBytes)
 	if err != nil {
@@ -222,9 +265,10 @@ func (e *Engine) batcher(p *sim.Proc) {
 		return
 	}
 	e.workspace = in
-	for e.completed < e.total {
-		for e.qlen() == 0 {
+	for e.completed+e.m.Shed < e.total {
+		if e.qlen() == 0 {
 			e.more.Wait(p)
+			continue
 		}
 		switch e.cfg.Policy {
 		case NoBatch:
@@ -244,17 +288,40 @@ func (e *Engine) batcher(p *sim.Proc) {
 	}
 }
 
-// pop removes and returns the queue head, rewinding onto the same backing
-// array once the queue drains.
+// pop removes and returns the live queue head, discarding entries shed
+// by backpressure and rewinding onto the same backing array once the
+// queue drains. The caller guarantees qlen() > 0.
 func (e *Engine) pop() *pending {
-	r := e.queue[e.qhead]
-	e.queue[e.qhead] = nil
-	e.qhead++
-	if e.qhead == len(e.queue) {
-		e.queue = e.queue[:0]
-		e.qhead = 0
+	for {
+		r := e.queue[e.qhead]
+		e.queue[e.qhead] = nil
+		e.qhead++
+		if e.qhead == len(e.queue) {
+			e.queue = e.queue[:0]
+			e.qhead = 0
+		}
+		if r.shed {
+			continue
+		}
+		e.depth--
+		return r
 	}
-	return r
+}
+
+// take pops live requests, shedding any whose queue wait alone already
+// blew the tenant's SLO while the admission gate is armed. It returns
+// nil once the queue is empty (everything left was shed or expired).
+func (e *Engine) take(p *sim.Proc) *pending {
+	a := e.cfg.Admission
+	for e.qlen() > 0 {
+		r := e.pop()
+		if a.ShedExpired && p.Now().Sub(r.req.Arrival) > e.cfg.Tenants[r.req.Tenant].SLO && a.armed() {
+			e.m.shed(r.req.Tenant)
+			continue
+		}
+		return r
+	}
+	return nil
 }
 
 // finish moves the request's output back to the host and records its
@@ -310,7 +377,10 @@ const batchTrack = -1
 // stepNoBatch serves exactly one request FCFS.
 func (e *Engine) stepNoBatch(p *sim.Proc) error {
 	e.m.QueueDepths = append(e.m.QueueDepths, float64(e.qlen()))
-	r := e.pop()
+	r := e.take(p)
+	if r == nil {
+		return nil
+	}
 	start := p.Now()
 	prefill, err := e.admit(p, r)
 	if err != nil {
@@ -340,9 +410,16 @@ func (e *Engine) stepFixed(p *sim.Proc) error {
 	e.m.QueueDepths = append(e.m.QueueDepths, float64(e.qlen()))
 	batch := e.batchBuf[:0]
 	for len(batch) < e.cfg.MaxBatch && e.qlen() > 0 {
-		batch = append(batch, e.pop())
+		r := e.take(p)
+		if r == nil {
+			break
+		}
+		batch = append(batch, r)
 	}
 	e.batchBuf = batch
+	if len(batch) == 0 {
+		return nil
+	}
 	start := p.Now()
 	ks := e.ks[:0]
 	steps := 0
@@ -388,7 +465,10 @@ func (e *Engine) stepContinuous(p *sim.Proc) error {
 		start := p.Now()
 		ks := e.ks[:0]
 		for len(active) < e.cfg.MaxBatch && e.qlen() > 0 {
-			r := e.pop()
+			r := e.take(p)
+			if r == nil {
+				break
+			}
 			prefill, err := e.admit(p, r)
 			if err != nil {
 				return err

@@ -17,6 +17,12 @@ type Metrics struct {
 	// SLOMet counts completed requests that finished within their
 	// tenant's SLO.
 	SLOMet int
+	// Shed counts requests the admission gate dropped (queue wait past
+	// SLO, or backpressure overflow); ShedByTenant breaks the count down
+	// by tenant index. Shed requests are not failures — the gate gave
+	// their device time to requests that could still meet their SLOs.
+	Shed         int
+	ShedByTenant []int
 	// BatchSizes records the decode batch width of every executed
 	// iteration; QueueDepths records the admission-queue depth observed at
 	// the start of each iteration.
@@ -43,6 +49,15 @@ func (m *Metrics) record(latency sim.Duration, slo sim.Duration) {
 	}
 }
 
+// shed registers one shed request against its tenant.
+func (m *Metrics) shed(tenant int) {
+	m.Shed++
+	for len(m.ShedByTenant) <= tenant {
+		m.ShedByTenant = append(m.ShedByTenant, 0)
+	}
+	m.ShedByTenant[tenant]++
+}
+
 // Merge folds other engines' metrics into m (for multi-replica pools).
 // Slices concatenate in argument order, so merging is deterministic as
 // long as the caller passes replicas in a fixed order.
@@ -51,6 +66,13 @@ func (m *Metrics) Merge(others ...*Metrics) {
 		m.Requests += o.Requests
 		m.Completed += o.Completed
 		m.SLOMet += o.SLOMet
+		m.Shed += o.Shed
+		for ti, n := range o.ShedByTenant {
+			for len(m.ShedByTenant) <= ti {
+				m.ShedByTenant = append(m.ShedByTenant, 0)
+			}
+			m.ShedByTenant[ti] += n
+		}
 		m.Latencies = append(m.Latencies, o.Latencies...)
 		m.BatchSizes = append(m.BatchSizes, o.BatchSizes...)
 		m.QueueDepths = append(m.QueueDepths, o.QueueDepths...)
@@ -64,6 +86,12 @@ func (m *Metrics) Merge(others ...*Metrics) {
 type Report struct {
 	Requests  int
 	Completed int
+	// Shed counts admission-gate drops; Failed is what remains — offered
+	// but neither completed nor deliberately shed (the engine died, or
+	// the window closed mid-flight). ShedRate is Shed over Requests.
+	Shed     int
+	Failed   int
+	ShedRate float64
 	// Latency quantiles over completed requests.
 	P50, P95, P99, P999 sim.Duration
 	// SLOAttainment is the fraction of offered requests that completed
@@ -84,6 +112,8 @@ func (m *Metrics) Report(window sim.Duration) Report {
 	r := Report{
 		Requests:  m.Requests,
 		Completed: m.Completed,
+		Shed:      m.Shed,
+		Failed:    m.Requests - m.Completed - m.Shed,
 		P50:       sim.Duration(qs[0]),
 		P95:       sim.Duration(qs[1]),
 		P99:       sim.Duration(qs[2]),
@@ -91,6 +121,7 @@ func (m *Metrics) Report(window sim.Duration) Report {
 	}
 	if m.Requests > 0 {
 		r.SLOAttainment = float64(m.SLOMet) / float64(m.Requests)
+		r.ShedRate = float64(m.Shed) / float64(m.Requests)
 	}
 	if window > 0 {
 		r.Goodput = float64(m.SLOMet) / window.Seconds()

@@ -50,11 +50,18 @@ type Tenant struct {
 	// SLO is the per-request latency objective; completions within it
 	// count toward goodput.
 	SLO sim.Duration
+	// Priority orders tenants under degraded capacity: when the admission
+	// gate must shed, higher values degrade first. Zero (the default) is
+	// the most protected class; negative priorities are invalid.
+	Priority int
 }
 
 func (t Tenant) validate() error {
 	if t.Name == "" {
 		return fmt.Errorf("serve: tenant with empty name")
+	}
+	if t.Priority < 0 {
+		return fmt.Errorf("serve: tenant %s priority %d must be >= 0", t.Name, t.Priority)
 	}
 	if t.Rate <= 0 {
 		return fmt.Errorf("serve: tenant %s rate %g must be positive", t.Name, t.Rate)

@@ -30,6 +30,16 @@
 #                         suite's self-benchmark: its allocation count scales
 #                         with the size of the repo it analyzes, so every PR
 #                         that adds source moves it by design
+#   GATE_WAIVE=re         one-time acknowledged steps: the regex is matched
+#                         against "<benchmark>@<new-recording-basename>", and
+#                         matches are reported as "waived" instead of failing.
+#                         Pinning the recording name makes the waiver
+#                         self-expiring — once the next BENCH_<n>.json becomes
+#                         the gate's NEW side the pin no longer matches, and
+#                         that comparison starts from the post-step baseline
+#                         anyway. Use it when a PR deliberately changes what a
+#                         benchmark measures; leave a comment at the call site
+#                         saying why the step is intended
 #   GATE_REPORT=path      also write the per-benchmark diff table to path
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -98,6 +108,7 @@ if [ "$gate" = 1 ]; then
         -v alloc_tol="${GATE_ALLOC_TOL:-0.10}" \
         -v alloc_slack="${GATE_ALLOC_SLACK:-16}" \
         -v alloc_skip="${GATE_ALLOC_SKIP:-^BenchmarkCdivetModule$}" \
+        -v waive="${GATE_WAIVE:-}" -v newbase="$(basename "$gate_new")" \
         -v newfile="$gate_new" -v oldfile="$gate_old" '
     function field(line, key,    v) {
         # Pull "key": value out of one benchmark object line; the files are
@@ -136,16 +147,19 @@ if [ "$gate" = 1 ]; then
                 continue
             }
             verdict = "ok"
+            waived = (waive != "" && (name "@" newbase) ~ waive)
             if (nns[name] + 0 > ons[name] * (1 + ns_tol)) {
                 verdict = "REGRESSION(ns/op)"
-                bad = 1
+                if (!waived) bad = 1
             }
             if (alloc_skip != "" && name ~ alloc_skip) {
                 verdict = verdict " (allocs ungated: GATE_ALLOC_SKIP)"
             } else if (nal[name] + 0 > oal[name] * (1 + alloc_tol) + alloc_slack) {
                 verdict = (verdict == "ok") ? "REGRESSION(allocs/op)" : "REGRESSION(ns/op,allocs/op)"
-                bad = 1
+                if (!waived) bad = 1
             }
+            if (waived && verdict != "ok")
+                verdict = verdict " -- waived(GATE_WAIVE)"
             printf "  %-52s ns/op %12.0f -> %12.0f (%7s)  allocs/op %6d -> %6d (%7s)  %s\n", \
                 name, ons[name], nns[name], pct(ons[name] + 0, nns[name] + 0), \
                 oal[name], nal[name], pct(oal[name] + 0, nal[name] + 0), verdict

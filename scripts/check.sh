@@ -21,6 +21,14 @@ echo "== go test -race -count=1 (resilience)"
 go test -race -count=1 -run 'Resilien|Fault|WaitTimeout' \
   ./internal/faults/ ./internal/remoting/ ./internal/sim/ ./internal/experiments/
 
+# The pool control plane and the churn sweep guard the other half of that
+# determinism story: zero-churn cells must reproduce the serving sweep
+# byte for byte and a fault-free control plane must be invisible. Uncached
+# and race-enabled for the same reason as above.
+echo "== go test -race -count=1 (health control plane + churn)"
+go test -race -count=1 ./internal/health/
+go test -race -count=1 -run 'TestChurn' ./internal/experiments/
+
 echo "== cdivet ./... (baseline: cdivet_baseline.json)"
 go run ./cmd/cdivet -sarif cdivet.sarif -baseline cdivet_baseline.json ./...
 
@@ -37,6 +45,14 @@ if [ "$serving_j1" != "${serving_j8%$'\n'wrote serving trace*}" ]; then
 fi
 [ -s "$serving_trace" ] || { echo "serving trace file is empty" >&2; exit 1; }
 rm -f "$serving_trace"
+
+echo "== reproduce -exp churn smoke (-j byte-identity)"
+churn_j1="$(go run ./cmd/reproduce -exp churn -j 1)"
+churn_j8="$(go run ./cmd/reproduce -exp churn -j 8)"
+if [ "$churn_j1" != "$churn_j8" ]; then
+  echo "churn output differs between -j 1 and -j 8" >&2
+  exit 1
+fi
 
 # Coverage-guided fuzz smoke of the sharded merge-order invariant. The
 # recorded seeds always run as part of `go test` above; the search itself
@@ -55,7 +71,14 @@ scripts/bench.sh --smoke
 # archive. Skipped until two recordings exist.
 echo "== bench.sh --gate (perf trajectory)"
 if [ -e BENCH_2.json ]; then
-  GATE_REPORT=bench_gate.txt scripts/bench.sh --gate
+  # BENCH_7 waiver: the half-open breaker deliberately changed what
+  # BenchmarkRemotingFaultPath measures. Tripped servers now get a
+  # cooldown-and-probe before failover, so under a 30% drop rate the run
+  # stays on the (expensive, retrying) remote path instead of collapsing
+  # to the quiet node-local fallback — more fault-path work per op is the
+  # feature. The pin expires by itself once BENCH_8 is recorded.
+  GATE_WAIVE='^BenchmarkRemotingFaultPath@BENCH_7\.json$' \
+    GATE_REPORT=bench_gate.txt scripts/bench.sh --gate
 else
   echo "   fewer than two BENCH_<n>.json recordings; gate skipped"
 fi

@@ -28,6 +28,7 @@ var shardPackages = []string{
 	"./internal/fabric",
 	"./internal/remoting",
 	"./internal/serve",
+	"./internal/health",
 }
 
 func runShardSelfCheck(t *testing.T, rule string) {
