@@ -20,6 +20,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/lammps"
 	"repro/internal/mpi"
+	"repro/internal/pool"
 	"repro/internal/proxy"
 	"repro/internal/remoting"
 	"repro/internal/serve"
@@ -675,4 +676,56 @@ func BenchmarkSimEngineFanout(b *testing.B) {
 	b.StopTimer()
 	env.Close()
 	runtime.GC()
+}
+
+// benchPoolConfig is the pool benchmarks' shared cell: the failure-cell
+// topology (512 GPUs on 64 servers) at full churn, high load, one 100 ms
+// window — thousands of gang placements and completions per run.
+func benchPoolConfig(defrag bool) pool.Config {
+	return pool.Config{
+		Topo:   pool.Topology{Rows: 2, RacksPerRow: 4, ServersPerRack: 8, GPUsPerServer: 8},
+		Policy: pool.TierAware,
+		Workload: pool.Workload{
+			Seed: 9001, Window: 100 * sim.Millisecond, Load: 0.95, Intensity: 1,
+		},
+		Defrag: defrag,
+	}
+}
+
+// BenchmarkPoolPlacement drives the pool scheduler's placement path: a
+// churning window of gang arrivals, completions, and queue scans with the
+// defragmenter off.
+func BenchmarkPoolPlacement(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		s, err := pool.Start(env, benchPoolConfig(false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.Run()
+		env.Close()
+		if st := s.Stats(); st.Placed == 0 {
+			b.Fatal("placement path not exercised")
+		}
+	}
+}
+
+// BenchmarkPoolDefragSweep runs the same churning window with the
+// defragmenter on, so sweep planning and migration copies ride the
+// placement path.
+func BenchmarkPoolDefragSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		s, err := pool.Start(env, benchPoolConfig(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.Run()
+		env.Close()
+		if st := s.Stats(); st.Migrations == 0 {
+			b.Fatal("defrag path not exercised: no migrations")
+		}
+	}
 }

@@ -32,7 +32,7 @@ var experimentIDs = []string{
 	"figure4", "figure5", "table3", "table4", "validate", "compose",
 	"appvalidate", "scales", "preload", "congestion", "remoting",
 	"resilience", "weak", "coupling", "throughput", "reach", "serving",
-	"churn",
+	"churn", "pool",
 }
 
 func main() {
@@ -255,6 +255,12 @@ func main() {
 			check(f.Close())
 			fmt.Printf("wrote churn trace to %s\n", out)
 		}
+	}
+
+	if section("pool") {
+		rows, err := experiments.Pool(opts)
+		check(err)
+		fmt.Print(experiments.RenderPool(rows))
 	}
 
 	if ran == 0 {

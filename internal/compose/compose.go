@@ -287,6 +287,18 @@ type PowerModel struct {
 // DefaultPower returns A100-class wattages.
 func DefaultPower() PowerModel { return PowerModel{GPUIdle: 55, GPUBusy: 400} }
 
+// StrandedDraw returns the idle wattage burned by stranded capacity: GPUs
+// that are powered and free but unreachable for the workload that wants
+// them (fragmented pool state, not the paper's per-allocation trapping).
+// The count may be a time average, hence float64; negative counts clamp
+// to zero.
+func (pm PowerModel) StrandedDraw(gpus float64) float64 {
+	if gpus < 0 {
+		gpus = 0
+	}
+	return gpus * pm.GPUIdle
+}
+
 // GPUPowerDraw returns the current GPU power draw in watts. Traditional
 // systems pay idle power on trapped and free GPUs; CDI powers them off.
 func (s *System) GPUPowerDraw(pm PowerModel) float64 {

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/pool"
+)
+
+// poolPair finds the defrag-off twin of an on-arm row.
+func poolPair(rows []PoolRow, r PoolRow) *PoolRow {
+	for i := range rows {
+		o := &rows[i]
+		if o.Policy == r.Policy && o.Churn == r.Churn && o.Faulty == r.Faulty && !o.Defrag {
+			return o
+		}
+	}
+	return nil
+}
+
+// TestPoolProperties runs the full sweep once and holds it to the
+// experiment's contract:
+//
+//   - scale: every main-grid cell sustains >= 2000 concurrent gangs on
+//     >= 512 GPUs, and the failure cells keep the pool at >= 512 GPUs;
+//   - the zero-churn defrag arm is a no-op: not one migration, and
+//     byte-for-byte the stats of its off twin;
+//   - in every nonzero-churn cell the defrag arm strictly reduces
+//     stranded capacity and never regresses goodput;
+//   - accounting closes: every generated job is placed or killed.
+func TestPoolProperties(t *testing.T) {
+	if poolTopology().GPUs() < 512 || poolFaultTopology().GPUs() < 512 {
+		t.Fatalf("pool topologies below the 512-GPU floor: %d / %d",
+			poolTopology().GPUs(), poolFaultTopology().GPUs())
+	}
+	o := Quick()
+	o.Jobs = 8
+	rows, err := Pool(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("sweep produced %d rows, want 20", len(rows))
+	}
+	for _, r := range rows {
+		st := r.Stats
+		if st.Placed+st.Killed < st.Jobs {
+			t.Errorf("%v churn=%g defrag=%v faulty=%v: %d jobs but only %d placed + %d killed",
+				r.Policy, r.Churn, r.Defrag, r.Faulty, st.Jobs, st.Placed, st.Killed)
+		}
+		if !r.Faulty && st.PeakConcurrent < 2000 {
+			t.Errorf("%v churn=%g: peak concurrency %d < 2000", r.Policy, r.Churn, st.PeakConcurrent)
+		}
+		if st.Goodput <= 0 || st.Goodput > 1 {
+			t.Errorf("%v churn=%g defrag=%v faulty=%v: goodput %g outside (0, 1]",
+				r.Policy, r.Churn, r.Defrag, r.Faulty, st.Goodput)
+		}
+		if !r.Defrag {
+			if st.Migrations != 0 {
+				t.Errorf("%v churn=%g faulty=%v: defrag-off arm ran %d consolidation migrations",
+					r.Policy, r.Churn, r.Faulty, st.Migrations)
+			}
+			continue
+		}
+		off := poolPair(rows, r)
+		if off == nil {
+			t.Fatalf("%v churn=%g faulty=%v: no defrag-off twin", r.Policy, r.Churn, r.Faulty)
+		}
+		if r.Churn == 0 {
+			if st.Migrations != 0 {
+				t.Errorf("%v zero-churn: %d spurious migrations", r.Policy, st.Migrations)
+			}
+			if st != off.Stats {
+				t.Errorf("%v zero-churn: defrag changed the run:\noff %+v\non  %+v",
+					r.Policy, off.Stats, st)
+			}
+			continue
+		}
+		if st.StrandedAvg >= off.Stats.StrandedAvg {
+			t.Errorf("%v churn=%g faulty=%v: defrag stranded %.3f, off arm %.3f — not a strict reduction",
+				r.Policy, r.Churn, r.Faulty, st.StrandedAvg, off.Stats.StrandedAvg)
+		}
+		if st.Goodput < off.Stats.Goodput {
+			t.Errorf("%v churn=%g faulty=%v: defrag goodput %.9f regressed below %.9f",
+				r.Policy, r.Churn, r.Faulty, st.Goodput, off.Stats.Goodput)
+		}
+		if st.Migrations == 0 {
+			t.Errorf("%v churn=%g faulty=%v: churning defrag arm never migrated", r.Policy, r.Churn, r.Faulty)
+		}
+	}
+	// The failure cells must exercise the health integration: drains
+	// happened and the drained allocations moved through the migration
+	// machinery.
+	for _, r := range rows {
+		if !r.Faulty {
+			continue
+		}
+		if r.Stats.Drains == 0 || r.Health.Drains == 0 {
+			t.Errorf("failure cell defrag=%v: no drains (pool %d, health %d)",
+				r.Defrag, r.Stats.Drains, r.Health.Drains)
+		}
+		if r.Stats.DrainMigrations == 0 {
+			t.Errorf("failure cell defrag=%v: drains re-placed nothing", r.Defrag)
+		}
+		if r.Stats.Readmissions == 0 {
+			t.Errorf("failure cell defrag=%v: no server returned to rotation", r.Defrag)
+		}
+	}
+}
+
+// TestPoolWorkerEquivalence: the rendered sweep is byte-identical
+// between serial and parallel execution.
+func TestPoolWorkerEquivalence(t *testing.T) {
+	o1 := Quick()
+	o1.Jobs = 1
+	r1, err := Pool(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o8 := Quick()
+	o8.Jobs = 8
+	r8, err := Pool(o8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderPool(r1), RenderPool(r8); a != b {
+		t.Fatalf("-j 1 and -j 8 renders diverge:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestPoolShapePricing pins the shapes' tier admissibility under the
+// paper's penalty model — the gate the tier-aware policy applies.
+func TestPoolShapePricing(t *testing.T) {
+	type adm struct {
+		shape pool.Shape
+		scale fabric.Scale
+		ok    bool
+	}
+	// lammps (2e5 calls/s, floor 0.90): rack only. cosmoflow (2e4,
+	// floor 0.95): up to row.
+	cases := []adm{
+		{pool.LammpsShape, fabric.RackScale, true},
+		{pool.LammpsShape, fabric.RowScale, false},
+		{pool.LammpsShape, fabric.ClusterScale, false},
+		{pool.CosmoFlowShape, fabric.RackScale, true},
+		{pool.CosmoFlowShape, fabric.RowScale, true},
+		{pool.CosmoFlowShape, fabric.ClusterScale, false},
+	}
+	for _, c := range cases {
+		eff := pool.EfficiencyAt(c.shape, c.scale)
+		if got := eff >= c.shape.MinEfficiency(); got != c.ok {
+			t.Errorf("%v at %v: eff %.4f vs floor %.2f, admissible=%v, want %v",
+				c.shape, c.scale, eff, c.shape.MinEfficiency(), got, c.ok)
+		}
+	}
+}

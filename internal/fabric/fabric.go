@@ -154,6 +154,7 @@ func (s Scale) String() string {
 	case ClusterScale:
 		return "cluster-scale"
 	default:
+		//cdivet:allow hotpath defensive fallback, unreachable for valid scales
 		return fmt.Sprintf("Scale(%d)", int(s))
 	}
 }

@@ -1,0 +1,61 @@
+package pool
+
+// Fragmentation accounting. The pool's free state is a per-server free
+// count plus rack/row aggregates; the two derived numbers the experiment
+// reports are:
+//
+//   - Fragmentation: how far the pool is from placing its reference gang
+//     on one server. With L = the largest single-server free block and
+//     F = total free GPUs, frag = 1 − L/min(F, refGang): 0 when a full
+//     reference gang fits locally (or when the pool is simply out of
+//     capacity), approaching 1 when plenty of GPUs are free but every
+//     block is shattered.
+//   - Stranded capacity: free GPUs on servers whose free block is smaller
+//     than the reference gang — capacity that is powered and free but
+//     cannot serve a standard gang without crossing a boundary and paying
+//     slack.
+//
+// Both are total functions. The guards below mirror the
+// AvailabilityAdjustedPenalty +Inf guard from the model package: degenerate
+// pools (zero free capacity, a single-GPU pool) produce well-defined
+// values, never NaN or a division by zero.
+
+// Fragmentation returns the metric for a pool with totalFree free GPUs
+// whose largest single-server free block is `largest`, scored against a
+// reference gang of refGang GPUs.
+//
+// Edge cases, by design:
+//   - totalFree == 0 (or negative): 0 — an empty free list is exhausted,
+//     not fragmented.
+//   - refGang <= 0: 0 — no reference demand, nothing to strand against.
+//   - a single-GPU pool (totalFree == largest == 1): 0 — the one free
+//     device is the largest placeable gang.
+func Fragmentation(totalFree, largest, refGang int) float64 {
+	if totalFree <= 0 || refGang <= 0 {
+		return 0
+	}
+	denom := totalFree
+	if refGang < denom {
+		denom = refGang
+	}
+	if largest > denom {
+		largest = denom
+	}
+	if largest < 0 {
+		largest = 0
+	}
+	return 1 - float64(largest)/float64(denom)
+}
+
+// strandedContrib returns a server's contribution to stranded capacity:
+// its whole free block when that block is a genuine fragment — smaller
+// than the reference gang AND trapped beside running occupancy (free <
+// capEff, the server's capacity net of pinned serving replicas). A
+// fully-free server is never stranded, however small: there is nothing
+// on it to consolidate away, so migration cannot reclaim it.
+func strandedContrib(free, capEff, refGang int) int {
+	if free > 0 && free < refGang && free < capEff {
+		return free
+	}
+	return 0
+}

@@ -1,0 +1,241 @@
+package pool
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// Stream salts owned by the pool scheduler (see the ownership ladder in
+// internal/faults/faults.go: faults < 0x10000, remoting 0x10000+, serve
+// 0x20000+, health 0x30000+; pool claims the 0x40000 block).
+const (
+	saltArrival  uint64 = 0x40000 // open-loop arrival gaps
+	saltLifetime uint64 = 0x40001 // job lifetimes
+	saltGang     uint64 = 0x40002 // gang-size mixture draws
+	saltShape    uint64 = 0x40003 // workload-shape coin
+)
+
+// Shape identifies a batch job's application profile: the call rate that
+// prices slack under the paper's penalty model, the resident device state
+// a migration must move, and the efficiency floor the tier-aware policy
+// enforces.
+type Shape int
+
+const (
+	// LammpsShape is the paper's latency-sensitive profile: a high CUDA
+	// call rate, so row/cluster slack is unaffordable; modest resident
+	// state per GPU.
+	LammpsShape Shape = iota
+	// CosmoFlowShape is the paper's throughput profile: an order of
+	// magnitude fewer calls per second, so row-scale slack is cheap, but
+	// four times the resident bytes to migrate.
+	CosmoFlowShape
+	numShapes
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case LammpsShape:
+		return "lammps"
+	case CosmoFlowShape:
+		return "cosmoflow"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// CallRate returns the shape's synchronous CUDA calls per second — the
+// multiplier on per-call slack in the paper's upper-bound penalty model.
+func (s Shape) CallRate() float64 {
+	if s == LammpsShape {
+		return 2e5
+	}
+	return 2e4
+}
+
+// BytesPerGPU returns the resident device state per gang member — the
+// handle-table payload a live migration replays over the fabric.
+func (s Shape) BytesPerGPU() int64 {
+	if s == LammpsShape {
+		return 128 << 20
+	}
+	return 512 << 20
+}
+
+// MinEfficiency returns the efficiency floor the tier-aware policy
+// accepts for the shape: the fraction of node-local throughput below
+// which the job would rather queue than run.
+func (s Shape) MinEfficiency() float64 {
+	if s == LammpsShape {
+		return 0.90
+	}
+	return 0.95
+}
+
+// EfficiencyAt prices a placement spread: the paper's upper-bound slack
+// penalty (call rate × per-call slack of the preset path at that scale)
+// converted to a throughput fraction, 1/(1+penalty). Node-local spread is
+// exactly 1.
+func EfficiencyAt(s Shape, scale fabric.Scale) float64 {
+	slack := fabric.SlackForPath(fabric.Preset(scale, 0))
+	return 1 / (1 + s.CallRate()*slack.Seconds())
+}
+
+// gangSizes and gangCum define the gang-size mixture: mostly small gangs
+// with a heavy-enough tail that whole-server holes matter. The mixture
+// mean is ~2.56 GPUs.
+var (
+	gangSizes = []int{1, 2, 4, 8, 16}
+	gangCum   = []float64{0.50, 0.75, 0.90, 0.98, 1.0}
+)
+
+// gangMean returns the mixture's expected gang size.
+func gangMean() float64 {
+	m, prev := 0.0, 0.0
+	for i, c := range gangCum {
+		m += (c - prev) * float64(gangSizes[i])
+		prev = c
+	}
+	return m
+}
+
+// Job is one batch tenant: a gang allocation with an arrival, a lifetime,
+// and a shape that prices its slack tolerance and migration payload.
+type Job struct {
+	ID       int
+	Shape    Shape
+	Gang     int
+	Arrival  sim.Time
+	Lifetime sim.Duration
+}
+
+// Workload is the seeded open-loop job-churn process driving a run.
+type Workload struct {
+	// Seed roots every substream the generator draws from.
+	Seed int64
+	// Window is the arrival horizon; jobs stop arriving here, metrics
+	// integrate over exactly this span.
+	Window sim.Duration
+	// Load is the target fraction of pool GPUs concurrently allocated.
+	Load float64
+	// Intensity scales churn at constant offered load: 0 freezes the pool
+	// after one initial placement (infinite lifetimes, no arrivals); at
+	// c > 0 mean lifetime is BaseLifetime/c and the arrival rate rises to
+	// match, so concurrency holds while turnover scales with c.
+	Intensity float64
+	// BaseLifetime is the mean job lifetime at intensity 1 (default 200 ms).
+	BaseLifetime sim.Duration
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.BaseLifetime == 0 {
+		w.BaseLifetime = 200 * sim.Millisecond
+	}
+	return w
+}
+
+func (w Workload) validate() error {
+	if w.Window <= 0 {
+		return fmt.Errorf("pool: workload window %v <= 0", w.Window)
+	}
+	if w.Load <= 0 || w.Load > 1 {
+		return fmt.Errorf("pool: workload load %g outside (0, 1]", w.Load)
+	}
+	if w.Intensity < 0 {
+		return fmt.Errorf("pool: negative churn intensity %g", w.Intensity)
+	}
+	return nil
+}
+
+// GenerateJobs draws the deterministic job schedule for a pool of
+// totalGPUs devices: a warm-start cohort at t=0 sized to the target load,
+// then (at nonzero intensity) open-loop Poisson arrivals across the
+// window with exponential lifetimes. Arrival gaps, lifetimes, gang sizes,
+// and shapes come from independent salted PCG substreams, so the schedule
+// is byte-identical for every worker count and immune to consumers of
+// other streams.
+func GenerateJobs(w Workload, totalGPUs int) ([]Job, error) {
+	w = w.withDefaults()
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if totalGPUs <= 0 {
+		return nil, fmt.Errorf("pool: generating jobs for %d GPUs", totalGPUs)
+	}
+	arr := faults.Substream(w.Seed, saltArrival)
+	life := faults.Substream(w.Seed, saltLifetime)
+	gang := faults.Substream(w.Seed, saltGang)
+	shape := faults.Substream(w.Seed, saltShape)
+
+	drawGang := func() int {
+		u := gang.Float64()
+		for i, c := range gangCum {
+			if u < c {
+				return gangSizes[i]
+			}
+		}
+		return gangSizes[len(gangSizes)-1]
+	}
+	drawShape := func() Shape {
+		if shape.Float64() < 0.5 {
+			return LammpsShape
+		}
+		return CosmoFlowShape
+	}
+
+	meanLife := 2 * w.Window // intensity 0: outlive the window
+	if w.Intensity > 0 {
+		meanLife = sim.Duration(float64(w.BaseLifetime) / w.Intensity)
+	}
+	drawLife := func() sim.Duration {
+		if w.Intensity <= 0 {
+			return meanLife
+		}
+		return sim.Duration(life.ExpFloat64() * float64(meanLife))
+	}
+
+	// Warm-start cohort: gangs at t=0 until the target load is covered.
+	// Exponential lifetimes are memoryless, so the cohort is already the
+	// steady state the arrival process sustains.
+	target := int(w.Load * float64(totalGPUs))
+	// Size the schedule up front: at most `target` warm gangs (each
+	// covers at least one GPU), plus the expected arrival count.
+	est := target
+	if w.Intensity > 0 {
+		est += int(float64(target)*w.Window.Seconds()/(meanLife.Seconds()*gangMean())) + 1
+	}
+	jobs := make([]Job, 0, est)
+	covered := 0
+	for covered < target {
+		g := drawGang()
+		jobs = append(jobs, Job{
+			ID: len(jobs), Shape: drawShape(), Gang: g,
+			Arrival: 0, Lifetime: drawLife(),
+		})
+		covered += g
+	}
+	if w.Intensity <= 0 {
+		return jobs, nil
+	}
+
+	// Open-loop arrivals: rate chosen so arrivals replace departures at
+	// the target concurrency (jobs/s = target GPUs / (mean life × mean
+	// gang)).
+	rate := float64(target) / (meanLife.Seconds() * gangMean())
+	var t sim.Time
+	for {
+		t = t.Add(sim.Duration(arr.ExpFloat64() / rate))
+		if t.Sub(0) >= w.Window {
+			break
+		}
+		jobs = append(jobs, Job{
+			ID: len(jobs), Shape: drawShape(), Gang: drawGang(),
+			Arrival: t, Lifetime: drawLife(),
+		})
+	}
+	return jobs, nil
+}

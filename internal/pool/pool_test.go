@@ -1,0 +1,319 @@
+package pool
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// TestFragEdgeCases pins the fragmentation metric's degenerate corners:
+// every input produces a finite value in [0, 1], never NaN or a panic.
+func TestFragEdgeCases(t *testing.T) {
+	cases := []struct {
+		name                     string
+		totalFree, largest, gang int
+		want                     float64
+	}{
+		{"zero free capacity", 0, 0, 16, 0},
+		{"negative free", -3, 0, 16, 0},
+		{"zero reference gang", 128, 4, 0, 0},
+		{"negative reference gang", 128, 4, -1, 0},
+		{"single-GPU pool", 1, 1, 16, 0},
+		{"single free fragment", 1, 0, 16, 1},
+		{"whole gang fits", 64, 16, 16, 0},
+		{"half a gang fits", 64, 8, 16, 0.5},
+		{"shattered", 64, 1, 16, 1 - 1.0/16},
+		{"largest overshoots denom", 4, 9, 16, 0},
+		{"negative largest clamps", 8, -2, 16, 1},
+		{"free below gang, block covers it", 5, 5, 16, 0},
+	}
+	for _, c := range cases {
+		got := Fragmentation(c.totalFree, c.largest, c.gang)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s: Fragmentation(%d,%d,%d) = %v, want finite",
+				c.name, c.totalFree, c.largest, c.gang, got)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Fragmentation(%d,%d,%d) = %g, want %g",
+				c.name, c.totalFree, c.largest, c.gang, got, c.want)
+		}
+		if got < 0 || got > 1 {
+			t.Errorf("%s: metric %g outside [0,1]", c.name, got)
+		}
+	}
+	strandedCases := []struct {
+		free, capEff, gang, want int
+	}{
+		{-1, 16, 16, 0},  // nothing free
+		{0, 16, 16, 0},   // exhausted server
+		{3, 16, 16, 3},   // trapped fragment
+		{15, 16, 16, 15}, // one shy of the gang
+		{16, 16, 16, 0},  // whole gang fits
+		{40, 16, 16, 0},  // oversized block
+		{15, 15, 16, 0},  // fully-free pinned server: small, not stranded
+		{14, 15, 16, 14}, // pinned server with one job
+		{4, 16, 0, 0},    // no reference demand
+	}
+	for _, c := range strandedCases {
+		if got := strandedContrib(c.free, c.capEff, c.gang); got != c.want {
+			t.Errorf("strandedContrib(%d, %d, %d) = %d, want %d",
+				c.free, c.capEff, c.gang, got, c.want)
+		}
+	}
+}
+
+// TestGenerateJobs checks the schedule generator: deterministic across
+// calls, warm cohort covering the load target, arrivals inside the
+// window, and the zero-intensity arm frozen (no arrivals, lifetimes past
+// the window).
+func TestGenerateJobs(t *testing.T) {
+	w := Workload{Seed: 1, Window: 100 * sim.Millisecond, Load: 0.75, Intensity: 1}
+	a, err := GenerateJobs(w, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GenerateJobs(w, 1024)
+	if len(a) != len(b) {
+		t.Fatalf("generator not deterministic: %d vs %d jobs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at job %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	covered := 0
+	for _, j := range a {
+		if j.Arrival == 0 {
+			covered += j.Gang
+		}
+		if j.Arrival.Sub(0) >= w.Window {
+			t.Fatalf("job %d arrives at %v, beyond the window", j.ID, j.Arrival)
+		}
+		if j.Gang < 1 || j.Gang > 16 || j.Lifetime <= 0 {
+			t.Fatalf("job %d malformed: %+v", j.ID, j)
+		}
+	}
+	if covered < 768 {
+		t.Fatalf("warm cohort covers %d GPUs, want >= 768", covered)
+	}
+
+	frozen, err := GenerateJobs(Workload{Seed: 1, Window: 100 * sim.Millisecond, Load: 0.5}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range frozen {
+		if j.Arrival != 0 {
+			t.Fatalf("zero-intensity workload generated an arrival at %v", j.Arrival)
+		}
+		if j.Lifetime < 2*w.Window {
+			t.Fatalf("zero-intensity lifetime %v inside the window", j.Lifetime)
+		}
+	}
+}
+
+// testTopo is a small pool for unit runs: 2 rows × 2 racks × 4 servers ×
+// 8 GPUs = 128 GPUs on 16 servers.
+func testTopo() Topology {
+	return Topology{Rows: 2, RacksPerRow: 2, ServersPerRack: 4, GPUsPerServer: 8}
+}
+
+func runPool(t *testing.T, cfg Config) Stats {
+	t.Helper()
+	env := sim.NewEnv()
+	defer env.Close()
+	s, err := Start(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Run()
+	return s.Stats()
+}
+
+// TestSchedulerSmoke runs a churning pool to completion and checks the
+// accounting invariants: every job resolves, goodput lands in (0, 1],
+// metrics stay finite.
+func TestSchedulerSmoke(t *testing.T) {
+	for pol := FirstFit; pol <= TierAware; pol++ {
+		st := runPool(t, Config{
+			Topo:   testTopo(),
+			Policy: pol,
+			Workload: Workload{
+				Seed: 7, Window: 50 * sim.Millisecond, Load: 0.7, Intensity: 1,
+			},
+			Defrag: true,
+		})
+		if st.Jobs == 0 || st.Placed == 0 {
+			t.Fatalf("%v: no jobs ran: %+v", pol, st)
+		}
+		if st.Placed+st.Killed < st.Jobs {
+			t.Fatalf("%v: %d jobs, only %d placed + %d killed", pol, st.Jobs, st.Placed, st.Killed)
+		}
+		if st.Goodput <= 0 || st.Goodput > 1 {
+			t.Fatalf("%v: goodput %g outside (0, 1]", pol, st.Goodput)
+		}
+		if math.IsNaN(st.FragAvg) || st.FragAvg < 0 || st.FragAvg > 1 {
+			t.Fatalf("%v: frag average %g", pol, st.FragAvg)
+		}
+		if st.StrandedAvg < 0 {
+			t.Fatalf("%v: stranded average %g", pol, st.StrandedAvg)
+		}
+		if st.PeakConcurrent <= 0 {
+			t.Fatalf("%v: peak concurrency %d", pol, st.PeakConcurrent)
+		}
+	}
+}
+
+// TestSchedulerDeterminism: same config, two private envs, identical
+// stats.
+func TestSchedulerDeterminism(t *testing.T) {
+	cfg := Config{
+		Topo:   testTopo(),
+		Policy: TierAware,
+		Workload: Workload{
+			Seed: 11, Window: 50 * sim.Millisecond, Load: 0.8, Intensity: 1,
+		},
+		Defrag: true,
+	}
+	a := runPool(t, cfg)
+	b := runPool(t, cfg)
+	if a != b {
+		t.Fatalf("runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestZeroChurnFrozen: the intensity-0 arm places once and never
+// migrates, with or without the defragmenter.
+func TestZeroChurnFrozen(t *testing.T) {
+	base := Config{
+		Topo:   testTopo(),
+		Policy: BestFit,
+		Workload: Workload{
+			Seed: 3, Window: 50 * sim.Millisecond, Load: 0.75,
+		},
+	}
+	off := runPool(t, base)
+	on := base
+	on.Defrag = true
+	got := runPool(t, on)
+	if got.Migrations != 0 {
+		t.Fatalf("zero-churn defrag arm migrated %d times", got.Migrations)
+	}
+	if got != off {
+		t.Fatalf("defrag changed the zero-churn run:\noff %+v\non  %+v", off, got)
+	}
+	if off.Blocked != 0 || off.Killed != 0 {
+		t.Fatalf("zero-churn arm blocked %d / killed %d jobs", off.Blocked, off.Killed)
+	}
+}
+
+// TestTierAwareGate: on a pool whose every server is too small for the
+// big gangs, the tier-aware policy must still only accept spreads above
+// each shape's efficiency floor — so its average efficiency (goodput per
+// delivered GPU-second) beats first-fit's on the same schedule.
+func TestTierAwareGate(t *testing.T) {
+	cfg := Config{
+		Topo: Topology{Rows: 2, RacksPerRow: 2, ServersPerRack: 4, GPUsPerServer: 4},
+		Workload: Workload{
+			Seed: 5, Window: 50 * sim.Millisecond, Load: 0.8, Intensity: 1,
+		},
+	}
+	cfg.Policy = FirstFit
+	ff := runPool(t, cfg)
+	cfg.Policy = TierAware
+	ta := runPool(t, cfg)
+	if ta.Goodput <= 0 || ff.Goodput <= 0 {
+		t.Fatalf("degenerate goodput: firstfit %g tieraware %g", ff.Goodput, ta.Goodput)
+	}
+	effFF := ff.GoodputGPUs * cfg.Workload.Window.Seconds()
+	effTA := ta.GoodputGPUs * cfg.Workload.Window.Seconds()
+	if effTA <= 0 || effFF <= 0 {
+		t.Fatalf("no delivered GPU-seconds: firstfit %g tieraware %g", effFF, effTA)
+	}
+}
+
+// TestServingReservation: the serving slice is placed through the serve
+// placer, pinned ahead of batch placement, and reported with its slack.
+func TestServingReservation(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	s, err := Start(env, Config{
+		Topo:   testTopo(),
+		Policy: BestFit,
+		Workload: Workload{
+			Seed: 1, Window: 10 * sim.Millisecond, Load: 0.5,
+		},
+		Serving: []serve.Tenant{
+			{Name: "chat", Rate: 100, MeanPromptTokens: 32, MeanOutputTokens: 8,
+				SLO: 25 * sim.Millisecond},
+		},
+		ServingGPUs: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Run()
+	st := s.Stats()
+	if st.ServingReplicas != 4 {
+		t.Fatalf("serving replicas %d, want 4", st.ServingReplicas)
+	}
+	if st.ServingSlackMean <= 0 {
+		t.Fatalf("serving slack %v, want > 0 at row scale", st.ServingSlackMean)
+	}
+	if st.Goodput <= 0 {
+		t.Fatalf("batch goodput %g alongside the reservation", st.Goodput)
+	}
+}
+
+// TestEfficiencyTable pins the penalty-model pricing the policies gate
+// on.
+func TestEfficiencyTable(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		scale fabric.Scale
+		want  float64
+	}{
+		{LammpsShape, fabric.NodeLocal, 1},
+		{LammpsShape, fabric.RackScale, 0.955},
+		{LammpsShape, fabric.RowScale, 0.813},
+		{CosmoFlowShape, fabric.RowScale, 0.977},
+		{CosmoFlowShape, fabric.ClusterScale, 0.930},
+	}
+	for _, c := range cases {
+		got := EfficiencyAt(c.shape, c.scale)
+		if math.Abs(got-c.want) > 0.005 {
+			t.Errorf("EfficiencyAt(%v, %v) = %.3f, want ~%.3f", c.shape, c.scale, got, c.want)
+		}
+		if c.scale > fabric.NodeLocal && got >= 1 {
+			t.Errorf("EfficiencyAt(%v, %v) = %g, spread must cost something", c.shape, c.scale, got)
+		}
+	}
+}
+
+// TestTopology pins the index arithmetic.
+func TestTopology(t *testing.T) {
+	topo := DefaultTopology()
+	if topo.GPUs() != 8192 || topo.Servers() != 512 || topo.Racks() != 64 {
+		t.Fatalf("default topology: %d GPUs, %d servers, %d racks", topo.GPUs(), topo.Servers(), topo.Racks())
+	}
+	if topo.RackOf(0) != 0 || topo.RackOf(8) != 1 || topo.RowOf(63) != 0 || topo.RowOf(64) != 1 {
+		t.Fatal("rack/row indexing broken")
+	}
+	cases := []struct {
+		a, b int
+		want fabric.Scale
+	}{
+		{0, 0, fabric.NodeLocal},
+		{0, 7, fabric.RackScale},
+		{0, 8, fabric.RowScale},
+		{0, 63, fabric.RowScale},
+		{0, 64, fabric.ClusterScale},
+	}
+	for _, c := range cases {
+		if got := topo.CrossingScale(c.a, c.b); got != c.want {
+			t.Errorf("CrossingScale(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

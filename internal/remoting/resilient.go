@@ -115,8 +115,7 @@ type Resilient struct {
 	jitter *rand.Rand
 
 	nextHandle gpu.Ptr
-	handles    []gpu.Ptr // live virtual handles in allocation order
-	sizes      map[gpu.Ptr]int64
+	table      *HandleTable // live virtual handles in allocation order
 	nextReq    uint64
 
 	consecTimeouts int
@@ -153,7 +152,7 @@ func NewResilient(env *sim.Env, spec gpu.Spec, cfg ResilientConfig) (*Resilient,
 		spec:   spec,
 		noise:  faults.Substream(cfg.Seed, saltNoise),
 		jitter: faults.Substream(cfg.Seed, saltRetryJitter),
-		sizes:  map[gpu.Ptr]int64{},
+		table:  NewHandleTable(),
 	}
 	for i := 0; i <= cfg.Standbys; i++ {
 		dev, err := gpu.NewDevice(env, spec)
@@ -484,8 +483,7 @@ func (r *Resilient) migrate(p *sim.Proc, ep *endpoint, overNetwork bool) error {
 	if r.pol.FailoverPenalty > 0 {
 		p.Sleep(r.pol.FailoverPenalty)
 	}
-	for _, h := range r.handles {
-		size := r.sizes[h]
+	return r.table.Each(func(h gpu.Ptr, size int64) error {
 		ptr, err := ep.ctx.Malloc(p, size)
 		if err != nil {
 			return fmt.Errorf("remoting: state re-upload: %w", err)
@@ -498,8 +496,8 @@ func (r *Resilient) migrate(p *sim.Proc, ep *endpoint, overNetwork bool) error {
 			return fmt.Errorf("remoting: state re-upload: %w", err)
 		}
 		r.stats.ReuploadBytes += size
-	}
-	return nil
+		return nil
+	})
 }
 
 // Malloc forwards cudaMalloc and returns a failover-stable virtual handle.
@@ -522,8 +520,7 @@ func (r *Resilient) Malloc(p *sim.Proc, n int64) (gpu.Ptr, error) {
 	if res.err != nil {
 		return 0, res.err
 	}
-	r.handles = append(r.handles, h)
-	r.sizes[h] = n
+	r.table.Add(h, n)
 	return h, nil
 }
 
@@ -547,13 +544,7 @@ func (r *Resilient) Free(p *sim.Proc, h gpu.Ptr) error {
 	if res.err != nil {
 		return res.err
 	}
-	for i, live := range r.handles {
-		if live == h {
-			r.handles = append(r.handles[:i], r.handles[i+1:]...)
-			break
-		}
-	}
-	delete(r.sizes, h)
+	r.table.Remove(h)
 	return nil
 }
 

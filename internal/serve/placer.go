@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/compose"
 	"repro/internal/fabric"
@@ -52,18 +53,27 @@ func Place(tenants []Tenant, tiers []Tier) ([]Replica, error) {
 			return nil, err
 		}
 	}
-	var replicas []Replica
+	total := 0
 	for ti, tier := range tiers {
 		if tier.GPUs <= 0 {
 			return nil, fmt.Errorf("serve: tier %d (%v) has no GPUs", ti, tier.Scale)
 		}
+		total += tier.GPUs
+	}
+	replicas := make([]Replica, 0, total)
+	for _, tier := range tiers {
 		path := fabric.Preset(tier.Scale, tier.Km)
 		sys, err := compose.NewCDI(tier.GPUs, 8, 1, tier.GPUs, path)
 		if err != nil {
 			return nil, err
 		}
+		//cdivet:allow hotpath built once per tier, not per replica
+		prefix := "serve-" + tier.Scale.String() + "-"
 		for g := 0; g < tier.GPUs; g++ {
-			name := fmt.Sprintf("serve-%s-%d", tier.Scale, g)
+			// Each replica owns a distinct name; the allocation is the
+			// result itself, not transient scratch.
+			//cdivet:allow hotpath the string is the replica's stored identity
+			name := prefix + strconv.Itoa(g)
 			a, err := sys.Alloc(compose.Request{Name: name, Cores: 1, GPUs: 1})
 			if err != nil {
 				return nil, err

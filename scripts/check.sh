@@ -29,6 +29,14 @@ echo "== go test -race -count=1 (health control plane + churn)"
 go test -race -count=1 ./internal/health/
 go test -race -count=1 -run 'TestChurn' ./internal/experiments/
 
+# The pool scheduler's acceptance gates, uncached and race-enabled: the
+# zero-churn defrag arm must be a byte-level no-op, the defrag arm must
+# strictly reduce stranded capacity without regressing goodput, and the
+# whole sweep must render byte-identically at every worker count.
+echo "== go test -race -count=1 (pool scheduler + sweep)"
+go test -race -count=1 ./internal/pool/
+go test -race -count=1 -run 'TestPool' ./internal/experiments/ .
+
 echo "== cdivet ./... (baseline: cdivet_baseline.json)"
 go run ./cmd/cdivet -sarif cdivet.sarif -baseline cdivet_baseline.json ./...
 
@@ -54,6 +62,14 @@ if [ "$churn_j1" != "$churn_j8" ]; then
   exit 1
 fi
 
+echo "== reproduce -exp pool smoke (-j byte-identity)"
+pool_j1="$(go run ./cmd/reproduce -exp pool -j 1)"
+pool_j8="$(go run ./cmd/reproduce -exp pool -j 8)"
+if [ "$pool_j1" != "$pool_j8" ]; then
+  echo "pool output differs between -j 1 and -j 8" >&2
+  exit 1
+fi
+
 # Coverage-guided fuzz smoke of the sharded merge-order invariant. The
 # recorded seeds always run as part of `go test` above; the search itself
 # is opt-in locally (CI always runs its own 10s pass).
@@ -71,14 +87,7 @@ scripts/bench.sh --smoke
 # archive. Skipped until two recordings exist.
 echo "== bench.sh --gate (perf trajectory)"
 if [ -e BENCH_2.json ]; then
-  # BENCH_7 waiver: the half-open breaker deliberately changed what
-  # BenchmarkRemotingFaultPath measures. Tripped servers now get a
-  # cooldown-and-probe before failover, so under a 30% drop rate the run
-  # stays on the (expensive, retrying) remote path instead of collapsing
-  # to the quiet node-local fallback — more fault-path work per op is the
-  # feature. The pin expires by itself once BENCH_8 is recorded.
-  GATE_WAIVE='^BenchmarkRemotingFaultPath@BENCH_7\.json$' \
-    GATE_REPORT=bench_gate.txt scripts/bench.sh --gate
+  GATE_REPORT=bench_gate.txt scripts/bench.sh --gate
 else
   echo "   fewer than two BENCH_<n>.json recordings; gate skipped"
 fi

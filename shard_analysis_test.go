@@ -29,6 +29,7 @@ var shardPackages = []string{
 	"./internal/remoting",
 	"./internal/serve",
 	"./internal/health",
+	"./internal/pool",
 }
 
 func runShardSelfCheck(t *testing.T, rule string) {
@@ -55,6 +56,31 @@ func runShardSelfCheck(t *testing.T, rule string) {
 func TestShardSafetySelfCheck(t *testing.T) { runShardSelfCheck(t, "shardsafety") }
 
 func TestWaitGraphSelfCheck(t *testing.T) { runShardSelfCheck(t, "waitgraph") }
+
+// TestPoolSelfCheck holds the pool scheduler alone to zero unbaselined
+// findings across the three analyzers its design leans on: shardsafety
+// (the single-writer mailbox discipline), waitgraph (the wake signal is
+// always fireable), and hotpath (the placement path stays allocation-
+// lean). The repo-wide self-checks above cover the first two; this one
+// exists so a pool-only regression fails with the package's name on it.
+func TestPoolSelfCheck(t *testing.T) {
+	for _, rule := range []string{"shardsafety", "waitgraph", "hotpath"} {
+		as, err := analysis.ByName(rule)
+		if err != nil {
+			t.Fatalf("resolve analyzer: %v", err)
+		}
+		findings, err := analysis.Run(analysis.Config{
+			Patterns:  []string{"./internal/pool"},
+			Analyzers: as,
+		})
+		if err != nil {
+			t.Fatalf("%s over internal/pool failed to run: %v", rule, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s", rule, f)
+		}
+	}
+}
 
 // copyModuleForPlant clones the module's base sources (no tests, no
 // testdata) into a scratch dir the seeded-bug tests can mutate freely.
